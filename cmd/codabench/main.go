@@ -1,0 +1,79 @@
+// Command codabench regenerates the paper's tables and figures on the
+// simulated substrate and prints them in the paper's layout.
+//
+// Usage:
+//
+//	codabench [-fig 1,4,7,8,9,10,11,12] [-ablations] [-quick] [-seed N] [-trials N] [-o out.txt]
+//
+// -fig selects figures (default all); Figure 12 includes Figures 13 and 14.
+// -quick runs reduced workloads (for smoke testing); the full run matches
+// the scales recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	figs := flag.String("fig", "1,4,7,8,9,10,11,12", "comma-separated figure numbers to run")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	quick := flag.Bool("quick", false, "reduced workloads")
+	seed := flag.Int64("seed", 0, "random seed")
+	trials := flag.Int("trials", 0, "trials per cell (0 = paper's default of 5)")
+	out := flag.String("o", "", "also write output to this file")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	selected := make(map[string]bool)
+	for _, f := range strings.Split(*figs, ",") {
+		selected[strings.TrimSpace(f)] = true
+	}
+
+	run := func(fig string, fn func() string) {
+		if !selected[fig] {
+			return
+		}
+		start := time.Now()
+		fmt.Fprintf(w, "==== Figure %s ====\n", fig)
+		fmt.Fprint(w, fn())
+		fmt.Fprintf(w, "(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	run("1", func() string { return experiments.Figure1(opts).Render() })
+	run("4", func() string { return experiments.Figure4(opts).Render() })
+	run("7", func() string { return experiments.Figure7(opts).Render() })
+	run("8", func() string { return experiments.Figure8(opts).Render() })
+	run("9", func() string { return experiments.Figure9(opts).Render() })
+	run("10", func() string { return experiments.Figure10(opts).Render() })
+	run("11", func() string { return experiments.Figure11(opts).Render() })
+	run("12", func() string { return experiments.Figure12(opts).Render() })
+
+	if *ablations {
+		fmt.Fprintln(w, "==== Ablations ====")
+		fmt.Fprint(w, experiments.AblationAging(opts).Render())
+		fmt.Fprint(w, experiments.AblationLogOptimizations(opts).Render())
+		fmt.Fprint(w, experiments.AblationChunkSize(opts).Render())
+		fmt.Fprint(w, experiments.AblationVolumeCallbacks(opts).Render())
+		fmt.Fprint(w, experiments.AblationAdaptiveRTO(opts).Render())
+		fmt.Fprint(w, experiments.AblationDeltas(opts).Render())
+	}
+}

@@ -1,0 +1,80 @@
+// Command codasrv runs a Coda file server over real UDP.
+//
+// Usage:
+//
+//	codasrv [-listen :8701] [-vol usr -vol proj ...] [-seed-files N]
+//
+// The server exports the named volumes (default "usr"), optionally
+// pre-populated with N small files each, and serves codaclient instances
+// until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/simtime"
+)
+
+type volList []string
+
+func (v *volList) String() string     { return fmt.Sprint(*v) }
+func (v *volList) Set(s string) error { *v = append(*v, s); return nil }
+
+func main() {
+	listen := flag.String("listen", ":8701", "UDP address to listen on")
+	seedFiles := flag.Int("seed-files", 0, "pre-populate each volume with N files")
+	stateFile := flag.String("state", "", "persist volumes to this file (load at boot, save at shutdown)")
+	var vols volList
+	flag.Var(&vols, "vol", "volume to export (repeatable; default usr)")
+	flag.Parse()
+	if len(vols) == 0 {
+		vols = volList{"usr"}
+	}
+
+	conn, err := netsim.ListenUDP(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := server.New(simtime.Real{}, conn)
+	if *stateFile != "" {
+		if err := srv.LoadStateFile(*stateFile); err != nil {
+			log.Fatalf("load state: %v", err)
+		}
+	}
+	for _, vol := range vols {
+		if _, err := srv.CreateVolume(vol); err != nil {
+			log.Printf("volume %s: %v (continuing)", vol, err)
+			continue
+		}
+		for i := 0; i < *seedFiles; i++ {
+			rel := fmt.Sprintf("seed/file%03d.txt", i)
+			data := []byte(fmt.Sprintf("seed file %d of volume %s\n", i, vol))
+			if _, err := srv.WriteFile(vol, rel, data); err != nil {
+				log.Fatalf("seed %s/%s: %v", vol, rel, err)
+			}
+		}
+		log.Printf("exporting volume %q", vol)
+	}
+	log.Printf("codasrv listening on %s", conn.LocalAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	st := srv.Stats()
+	log.Printf("shutting down: %d calls, %d reintegrations (%d failed), %d records applied, %d conflicts, %d breaks sent",
+		st.Calls, st.Reintegrations, st.ReintegrationFails, st.RecordsApplied, st.Conflicts, st.BreaksSent)
+	if *stateFile != "" {
+		if err := srv.SaveStateFile(*stateFile); err != nil {
+			log.Printf("save state: %v", err)
+		} else {
+			log.Printf("state saved to %s", *stateFile)
+		}
+	}
+	srv.Close()
+}

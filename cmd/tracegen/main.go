@@ -1,0 +1,170 @@
+// Command tracegen generates synthetic file-reference traces, reports
+// their statistics (the Figure 11 columns), optionally writes them as gob
+// files, and can replay a trace against a simulated client/server world at
+// a chosen network speed (§6.2.1's methodology as a standalone tool).
+//
+// Usage:
+//
+//	tracegen -preset Purcell|Holst|Messiaen|Concord|ives|... [-seed N] [-o trace.gob]
+//	tracegen -updates 500 -refs 60 -rewrite 2.5 -writekb 10 -duration 45m
+//	tracegen -replay trace.gob -network modem -lambda 1s -agingwindow 600s
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/codafs"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/venus"
+)
+
+func main() {
+	preset := flag.String("preset", "", "named preset (segment: Purcell/Holst/Messiaen/Concord; week: ives/concord/holst/messiaen/purcell)")
+	seed := flag.Int64("seed", 0, "generator seed")
+	out := flag.String("o", "", "write the trace (gob) to this file")
+	updates := flag.Int("updates", 500, "target update count (custom mode)")
+	refs := flag.Int("refs", 60, "references per update (custom mode)")
+	rewrite := flag.Float64("rewrite", 1.5, "mean rewrites per episode (custom mode)")
+	writeKB := flag.Float64("writekb", 8, "mean store size in KB (custom mode)")
+	duration := flag.Duration("duration", 45*time.Minute, "trace span (custom mode)")
+	aging := flag.Duration("aging", -1, "also analyze with this aging window (e.g. 600s)")
+	replayFile := flag.String("replay", "", "replay this trace file against a simulated world")
+	network := flag.String("network", "ethernet", "network for -replay: ethernet|wavelan|isdn|modem")
+	lambda := flag.Duration("lambda", time.Second, "think threshold λ for -replay")
+	agingWindow := flag.Duration("agingwindow", 600*time.Second, "aging window A for -replay")
+	flag.Parse()
+
+	if *replayFile != "" {
+		if err := replayTrace(*replayFile, *network, *lambda, *agingWindow); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var p trace.GenParams
+	switch *preset {
+	case "":
+		p = trace.GenParams{
+			Name: "custom", Seed: *seed, Duration: *duration,
+			Updates: *updates, RefsPerUpdate: *refs,
+			RewriteMean: *rewrite, MeanWriteKB: *writeKB,
+		}
+	case "Purcell", "Holst", "Messiaen", "Concord":
+		p = trace.SegmentPreset(*preset, *seed)
+	case "ives", "concord", "holst", "messiaen", "purcell":
+		p = trace.WeekPreset(*preset, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+		os.Exit(1)
+	}
+
+	tr := trace.Generate(p)
+	nrefs, nupdates := tr.Counts()
+	an := trace.AnalyzeCML(tr, trace.NoAging)
+	fmt.Printf("trace %q: %d records over %v\n", tr.Name, len(tr.Records), tr.Duration().Round(time.Second))
+	fmt.Printf("  references:      %d\n", nrefs)
+	fmt.Printf("  updates:         %d\n", nupdates)
+	fmt.Printf("  unopt. CML:      %d KB\n", an.AppendedBytes/1024)
+	fmt.Printf("  opt. CML:        %d KB\n", (an.AppendedBytes-an.SavedBytes)/1024)
+	fmt.Printf("  compressibility: %.0f%%\n", an.Compressibility()*100)
+	if *aging >= 0 {
+		aw := trace.AnalyzeCML(tr, *aging)
+		fmt.Printf("  with A=%v: saved %d KB (%.0f%% of no-aging savings)\n",
+			*aging, aw.SavedBytes/1024, 100*float64(aw.SavedBytes)/float64(an.SavedBytes))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := gob.NewEncoder(f).Encode(tr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// replayTrace loads a gob trace and replays it on a write-disconnected
+// simulated client at the named network speed, reporting elapsed time and
+// CML statistics — one cell of Figure 12, from the command line.
+func replayTrace(path, network string, lambda, aging time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr trace.Trace
+	if err := gob.NewDecoder(f).Decode(&tr); err != nil {
+		return fmt.Errorf("decode trace: %w", err)
+	}
+
+	var prof netsim.Profile
+	switch strings.ToLower(network) {
+	case "ethernet", "e":
+		prof = netsim.Ethernet
+	case "wavelan", "w":
+		prof = netsim.WaveLan
+	case "isdn", "i":
+		prof = netsim.ISDN
+	case "modem", "m":
+		prof = netsim.Modem
+	default:
+		return fmt.Errorf("unknown network %q", network)
+	}
+
+	sim := simtime.NewSim(simtime.Epoch1995)
+	net := netsim.New(sim, 1)
+	net.SetDefaults(netsim.Ethernet.Params())
+	srv := server.New(sim, net.Host("server"))
+	if err := trace.SeedServer(srv, &tr); err != nil {
+		return err
+	}
+	var stats trace.ReplayStats
+	var begin, end, optimized, shipped int64
+	sim.Run(func() {
+		v := venus.New(sim, net.Host("client"), venus.Config{
+			Server:               "server",
+			ClientID:             1,
+			CacheBytes:           1 << 30,
+			AgingWindow:          aging,
+			PinWriteDisconnected: true,
+		})
+		if err := v.Mount(tr.Volume); err != nil {
+			panic(err)
+		}
+		v.HoardAdd(codafs.JoinPath(tr.Volume), 600, true)
+		if err := v.HoardWalk(); err != nil {
+			panic(err)
+		}
+		v.WriteDisconnect()
+		net.SetLink("client", "server", prof.Params())
+		v.Connect(prof.Bandwidth)
+
+		begin = v.CMLBytes()
+		stats = trace.Replay(sim, v, &tr, trace.ReplayOpts{Lambda: lambda, OpCost: 3 * time.Millisecond})
+		end = v.CMLBytes()
+		optimized = v.OptimizedBytes()
+		shipped = v.Stats().ShippedBytes
+	})
+
+	fmt.Printf("replayed %q on %s (λ=%v, A=%v)\n", tr.Name, prof.Name, lambda, aging)
+	fmt.Printf("  elapsed:    %v (%d ops, %d updates, %d misses, %d errors)\n",
+		stats.Elapsed.Round(time.Second), stats.Ops, stats.Updates, stats.CacheMisses, stats.Errors)
+	fmt.Printf("  CML:        begin %d KB, end %d KB\n", begin/1024, end/1024)
+	fmt.Printf("  shipped:    %d KB\n", shipped/1024)
+	fmt.Printf("  optimized:  %d KB\n", optimized/1024)
+	return nil
+}

@@ -1,0 +1,534 @@
+// Package cml implements the Client Modify Log (CML): the persistent,
+// per-volume log of updates a Venus performs while emulating or
+// write-disconnected, together with the machinery of §4.3 — log
+// optimizations, the aging window, the reintegration barrier, and adaptive
+// chunk selection.
+//
+// Records are kept in temporal order, which implies precedence order, so
+// any prefix is safe to replay at the server (§4.3.5). Before a record is
+// appended, it is checked against the unfrozen suffix of the log for
+// cancellations ("log optimizations"): a store overwrites an earlier store
+// of the same file, a remove of an object created within the log annihilates
+// the entire chain, and so on. The bytes these cancellations save are what
+// Figure 4 and Figure 14 measure.
+package cml
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/codafs"
+)
+
+// Kind enumerates CML record types.
+type Kind uint8
+
+// Record kinds, covering every mutating operation Venus logs.
+const (
+	Store Kind = iota + 1
+	Create
+	Mkdir
+	MakeSymlink
+	Link
+	Remove
+	Rmdir
+	Rename
+	SetAttr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Store:
+		return "store"
+	case Create:
+		return "create"
+	case Mkdir:
+		return "mkdir"
+	case MakeSymlink:
+		return "symlink"
+	case Link:
+		return "link"
+	case Remove:
+		return "remove"
+	case Rmdir:
+		return "rmdir"
+	case Rename:
+		return "rename"
+	case SetAttr:
+		return "setattr"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// RecordOverhead approximates the fixed per-record cost, in bytes, both in
+// the log and on the wire (the paper notes shipped records are somewhat
+// larger; the difference is absorbed into RPC framing).
+const RecordOverhead = 64
+
+// Record is one logged update. Except for Store records, a record contains
+// everything needed to replay the update at the server; for a Store, Data
+// holds the file contents (the paper keeps them in the local file system;
+// here they live with the record).
+type Record struct {
+	Seq  uint64
+	Time time.Time // when logged; drives the aging window
+	Kind Kind
+
+	FID    codafs.FID // object created / stored / attributed / removed
+	Parent codafs.FID // containing directory
+	Name   string
+
+	NewParent codafs.FID // rename: destination directory
+	NewName   string     // rename: new name
+
+	Target  string // symlink target
+	Mode    uint32
+	ModTime time.Time
+	Owner   string
+
+	Data   []byte // store: file contents (nil if shipped as fragments)
+	Length int64  // store: file length
+
+	// PrevVersion is the object version this update was applied against
+	// on the client; the server compares it for conflict detection.
+	PrevVersion uint64
+	// PrevParentVersion is the containing directory's version, for
+	// directory-op conflict checks.
+	PrevParentVersion uint64
+}
+
+// Size returns the record's size in bytes as accounted in the CML and for
+// chunk selection; Store records include their file data (§4.3.5).
+func (r *Record) Size() int64 {
+	return int64(RecordOverhead + len(r.Name) + len(r.NewName) + len(r.Target) + len(r.Data))
+}
+
+// Log is the client modify log for one volume.
+type Log struct {
+	mu         sync.Mutex
+	records    []*Record
+	barrier    int // records[:barrier] are frozen for reintegration
+	nextSeq    uint64
+	savedBytes int64
+	savedRecs  int64
+	optimize   bool
+}
+
+// NewLog returns an empty log with optimizations enabled.
+func NewLog() *Log {
+	return &Log{optimize: true}
+}
+
+// SetOptimize enables or disables log optimizations (the ablation knob).
+func (l *Log) SetOptimize(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.optimize = on
+}
+
+// Append adds r to the log at time now, first applying cancellation rules
+// against the unfrozen suffix. It reports whether the record itself
+// survived (a remove that annihilates an in-log creation is not appended).
+func (l *Log) Append(r Record, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextSeq++
+	r.Seq = l.nextSeq
+	r.Time = now
+
+	if l.optimize {
+		if dropped := l.optimizeLocked(&r); dropped {
+			return false
+		}
+	}
+	l.records = append(l.records, &r)
+	return true
+}
+
+// optimizeLocked applies the paper's cancellation rules. It may cancel
+// earlier unfrozen records and reports whether the incoming record is
+// itself annihilated.
+func (l *Log) optimizeLocked(r *Record) bool {
+	switch r.Kind {
+	case Store:
+		// A store overrides any earlier store of the same file.
+		l.cancelLocked(func(o *Record) bool {
+			return o.Kind == Store && o.FID == r.FID
+		})
+	case SetAttr:
+		l.cancelLocked(func(o *Record) bool {
+			return o.Kind == SetAttr && o.FID == r.FID
+		})
+	case Remove, Rmdir:
+		createdHere := false
+		renamed := false
+		for _, o := range l.unfrozenLocked() {
+			switch o.Kind {
+			case Create, Mkdir, MakeSymlink:
+				if o.FID == r.FID {
+					createdHere = true
+				}
+			case Rename:
+				if o.FID == r.FID {
+					renamed = true
+				}
+			}
+		}
+		if createdHere && !renamed && !l.hasLiveChildrenLocked(r.FID) {
+			// Identity cancellation: the object's whole lifetime is
+			// inside the log; everything about it — including this
+			// remove — vanishes (the paper's create+store+unlink
+			// example).
+			l.cancelLocked(func(o *Record) bool { return o.FID == r.FID })
+			l.savedBytes += r.Size()
+			l.savedRecs++
+			return true
+		}
+		// The object predates the log: pending stores and setattrs on
+		// it are moot once it is removed.
+		if r.Kind == Remove {
+			l.cancelLocked(func(o *Record) bool {
+				return (o.Kind == Store || o.Kind == SetAttr) && o.FID == r.FID
+			})
+		}
+	}
+	return false
+}
+
+// hasLiveChildrenLocked reports whether any unfrozen record creates or
+// moves an object into directory dir that has not since been cancelled.
+func (l *Log) hasLiveChildrenLocked(dir codafs.FID) bool {
+	for _, o := range l.unfrozenLocked() {
+		switch o.Kind {
+		case Create, Mkdir, MakeSymlink, Link:
+			if o.Parent == dir {
+				return true
+			}
+		case Rename:
+			if o.NewParent == dir {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (l *Log) unfrozenLocked() []*Record {
+	return l.records[l.barrier:]
+}
+
+// cancelLocked removes unfrozen records matching pred, crediting savings.
+func (l *Log) cancelLocked(pred func(*Record) bool) {
+	kept := l.records[:l.barrier]
+	for _, o := range l.records[l.barrier:] {
+		if pred(o) {
+			l.savedBytes += o.Size()
+			l.savedRecs++
+			continue
+		}
+		kept = append(kept, o)
+	}
+	l.records = kept
+}
+
+// Len returns the number of records in the log.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Bytes returns the log's total size, including store data.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, r := range l.records {
+		n += r.Size()
+	}
+	return n
+}
+
+// SavedBytes returns the cumulative bytes eliminated by optimizations.
+func (l *Log) SavedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.savedBytes
+}
+
+// SavedRecords returns the cumulative count of records eliminated.
+func (l *Log) SavedRecords() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.savedRecs
+}
+
+// Records returns a snapshot of the log in temporal order.
+func (l *Log) Records() []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Record(nil), l.records...)
+}
+
+// EligibleBytes reports how much of the log is older than the aging window
+// age at time now, i.e. ready for trickle reintegration.
+func (l *Log) EligibleBytes(age time.Duration, now time.Time) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, r := range l.records {
+		if now.Sub(r.Time) < age {
+			break
+		}
+		n += r.Size()
+	}
+	return n
+}
+
+// OldestAge returns the age of the log head at now, or 0 if empty.
+func (l *Log) OldestAge(now time.Time) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.records) == 0 {
+		return 0
+	}
+	return now.Sub(l.records[0].Time)
+}
+
+// BeginReintegration selects the chunk for one reintegration attempt: the
+// maximal prefix of records older than age whose sizes sum to at most
+// chunkBytes — always at least one record, even if it alone exceeds the
+// chunk size (that record is then fragmented by the caller, §4.3.5). The
+// reintegration barrier is placed after the chunk, freezing it against
+// optimization. It returns nil if no record is old enough or a
+// reintegration is already in progress.
+func (l *Log) BeginReintegration(age time.Duration, chunkBytes int64, now time.Time) []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.barrier > 0 || len(l.records) == 0 {
+		return nil
+	}
+	var chunk []*Record
+	var sum int64
+	for _, r := range l.records {
+		if now.Sub(r.Time) < age {
+			break
+		}
+		if len(chunk) > 0 && sum+r.Size() > chunkBytes {
+			break
+		}
+		chunk = append(chunk, r)
+		sum += r.Size()
+	}
+	if len(chunk) == 0 {
+		return nil
+	}
+	l.barrier = len(chunk)
+	return append([]*Record(nil), chunk...)
+}
+
+// BeginSubtreeReintegration implements the refinement §4.3.5 leaves as
+// future work: reintegrating only the records that affect a given set of
+// objects (a directory subtree), without waiting for unrelated updates.
+// member selects the directly-affected records; the returned chunk is their
+// precedence closure — every earlier record a selected record depends on
+// (creation of its object, of its containing directories, or any earlier
+// operation on the same object or the same directory entry) is included, so
+// the server never sees a record before its antecedents. The records are
+// returned in temporal order (a subsequence of the log), the barrier is
+// placed after the last of them, and the caller finishes with
+// CommitSubtree (on success) or AbortReintegration.
+func (l *Log) BeginSubtreeReintegration(member func(*Record) bool) []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.barrier > 0 || len(l.records) == 0 {
+		return nil
+	}
+	needed := make([]bool, len(l.records))
+	any := false
+	for i, r := range l.records {
+		if member(r) {
+			needed[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Precedence closure to a fix point: an earlier record that created
+	// or mutated any object a needed record names is an antecedent, and
+	// its own antecedents are needed transitively.
+	for changed := true; changed; {
+		changed = false
+		for i := len(l.records) - 1; i >= 0; i-- {
+			if !needed[i] {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if !needed[j] && recordsRelated(l.records[j], l.records[i]) {
+					needed[j] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	var chunk []*Record
+	last := 0
+	for i, r := range l.records {
+		if needed[i] {
+			chunk = append(chunk, r)
+			last = i
+		}
+	}
+	l.barrier = last + 1
+	return append([]*Record(nil), chunk...)
+}
+
+// recordsRelated reports whether earlier record s is a precedence
+// antecedent of later record r.
+func recordsRelated(s, r *Record) bool {
+	// Objects r names.
+	names := func(rec *Record) []codafs.FID {
+		out := []codafs.FID{rec.FID}
+		if !rec.Parent.IsZero() {
+			out = append(out, rec.Parent)
+		}
+		if !rec.NewParent.IsZero() {
+			out = append(out, rec.NewParent)
+		}
+		return out
+	}
+	for _, a := range names(r) {
+		for _, b := range names(s) {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CommitSubtree removes the given records (by sequence number) after a
+// successful subtree reintegration and lifts the barrier; the unrelated
+// records that were interleaved with them remain.
+func (l *Log) CommitSubtree(seqs map[uint64]bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.barrier = 0
+	kept := l.records[:0]
+	for _, r := range l.records {
+		if !seqs[r.Seq] {
+			kept = append(kept, r)
+		}
+	}
+	l.records = kept
+}
+
+// Reintegrating reports whether a barrier is in place.
+func (l *Log) Reintegrating() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.barrier > 0
+}
+
+// CommitReintegration removes the barrier and every record to its left
+// (successful reintegration, §4.3.3).
+func (l *Log) CommitReintegration() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append([]*Record(nil), l.records[l.barrier:]...)
+	l.barrier = 0
+}
+
+// Remove deletes the records with the given sequence numbers (Venus drops
+// records the server reported as conflicts, surfacing them to the user
+// instead of retrying them forever). It may remove frozen records, so it
+// must only be called while no reintegration is in flight. It returns how
+// many records were removed.
+func (l *Log) Remove(seqs map[uint64]bool) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.barrier > 0 {
+		return 0
+	}
+	kept := l.records[:0]
+	removed := 0
+	for _, r := range l.records {
+		if seqs[r.Seq] {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	l.records = kept
+	return removed
+}
+
+// AbortReintegration removes the barrier after a failed attempt. The whole
+// log becomes eligible for optimization again: records rendered superfluous
+// by updates logged during the attempt are cancelled now (§4.3.3).
+func (l *Log) AbortReintegration() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.barrier == 0 {
+		return
+	}
+	l.barrier = 0
+	if !l.optimize {
+		return
+	}
+	// Re-run optimization by replaying the log into itself: append each
+	// record in order, letting the standard rules fire across the now
+	// unfrozen prefix. Seq and Time are preserved.
+	old := l.records
+	l.records = nil
+	for _, r := range old {
+		if !l.optimizeLocked(r) {
+			l.records = append(l.records, r)
+		}
+	}
+}
+
+// logImage is the persisted form of a Log.
+type logImage struct {
+	Records    []*Record
+	NextSeq    uint64
+	SavedBytes int64
+	SavedRecs  int64
+	Optimize   bool
+}
+
+// Save persists the log (local persistence is what lets trickle
+// reintegration defer propagation for hours, §4.3.1). A log is saved
+// without its barrier: an interrupted reintegration is simply retried.
+func (l *Log) Save(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return gob.NewEncoder(w).Encode(logImage{
+		Records:    l.records,
+		NextSeq:    l.nextSeq,
+		SavedBytes: l.savedBytes,
+		SavedRecs:  l.savedRecs,
+		Optimize:   l.optimize,
+	})
+}
+
+// Load restores a log persisted by Save.
+func Load(r io.Reader) (*Log, error) {
+	var img logImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("cml: load: %w", err)
+	}
+	return &Log{
+		records:    img.Records,
+		nextSeq:    img.NextSeq,
+		savedBytes: img.SavedBytes,
+		savedRecs:  img.SavedRecs,
+		optimize:   img.Optimize,
+	}, nil
+}

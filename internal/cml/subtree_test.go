@@ -1,0 +1,154 @@
+package cml
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSubtreeSelectionBasic(t *testing.T) {
+	l := NewLog()
+	sub := fid(10)   // the subtree directory (pre-existing)
+	other := fid(20) // unrelated directory
+	l.Append(Record{Kind: Create, FID: fid(11), Parent: sub, Name: "in-sub"}, t0)
+	l.Append(Record{Kind: Create, FID: fid(21), Parent: other, Name: "elsewhere"}, t0)
+	l.Append(storeRec(fid(11), 100), t0)
+
+	chunk := l.BeginSubtreeReintegration(func(r *Record) bool {
+		return r.FID == fid(11) || r.Parent == sub
+	})
+	if len(chunk) != 2 {
+		t.Fatalf("chunk = %d records, want 2 (create + store)", len(chunk))
+	}
+	seqs := map[uint64]bool{chunk[0].Seq: true, chunk[1].Seq: true}
+	l.CommitSubtree(seqs)
+	if l.Len() != 1 {
+		t.Fatalf("log after commit = %d, want 1 (the unrelated create)", l.Len())
+	}
+	if l.Records()[0].Name != "elsewhere" {
+		t.Error("wrong record survived")
+	}
+}
+
+func TestSubtreePrecedenceClosure(t *testing.T) {
+	// mkdir d; create d/f; store d/f — selecting only the store must pull
+	// in the create and the mkdir (its antecedents).
+	l := NewLog()
+	d, f := fid(5), fid(6)
+	l.Append(Record{Kind: Mkdir, FID: d, Parent: dirFID, Name: "d"}, t0)
+	l.Append(Record{Kind: Create, FID: f, Parent: d, Name: "f"}, t0)
+	l.Append(storeRec(f, 500), t0)
+
+	chunk := l.BeginSubtreeReintegration(func(r *Record) bool {
+		return r.Kind == Store && r.FID == f
+	})
+	if len(chunk) != 3 {
+		t.Fatalf("closure = %d records, want 3 (mkdir, create, store)", len(chunk))
+	}
+	if chunk[0].Kind != Mkdir || chunk[1].Kind != Create || chunk[2].Kind != Store {
+		t.Errorf("closure order wrong: %v %v %v", chunk[0].Kind, chunk[1].Kind, chunk[2].Kind)
+	}
+}
+
+func TestSubtreeRenameChainsAntecedents(t *testing.T) {
+	// create a/x; rename a/x -> b/y; store (fid). Selecting the store must
+	// include the rename and the create.
+	l := NewLog()
+	a, b, x := fid(7), fid(8), fid(9)
+	l.Append(Record{Kind: Create, FID: x, Parent: a, Name: "x"}, t0)
+	l.Append(Record{Kind: Rename, FID: x, Parent: a, Name: "x", NewParent: b, NewName: "y"}, t0)
+	l.Append(Record{Kind: Store, FID: x, Parent: b, Name: "y", Data: make([]byte, 10), Length: 10}, t0)
+	chunk := l.BeginSubtreeReintegration(func(r *Record) bool {
+		return r.Kind == Store && r.FID == x
+	})
+	if len(chunk) != 3 {
+		t.Fatalf("closure = %d records, want 3", len(chunk))
+	}
+}
+
+func TestSubtreeBarrierFreezesAndAborts(t *testing.T) {
+	l := NewLog()
+	f := fid(3)
+	l.Append(storeRec(f, 100), t0)
+	chunk := l.BeginSubtreeReintegration(func(r *Record) bool { return r.FID == f })
+	if chunk == nil {
+		t.Fatal("no chunk")
+	}
+	if !l.Reintegrating() {
+		t.Error("no barrier during subtree reintegration")
+	}
+	if c2 := l.BeginSubtreeReintegration(func(r *Record) bool { return true }); c2 != nil {
+		t.Error("concurrent subtree reintegration allowed")
+	}
+	l.AbortReintegration()
+	if l.Reintegrating() || l.Len() != 1 {
+		t.Error("abort did not restore the log")
+	}
+}
+
+func TestSubtreeNoMatches(t *testing.T) {
+	l := NewLog()
+	l.Append(storeRec(fid(3), 100), t0)
+	if chunk := l.BeginSubtreeReintegration(func(r *Record) bool { return false }); chunk != nil {
+		t.Error("chunk for empty selection")
+	}
+	if l.Reintegrating() {
+		t.Error("barrier placed for empty selection")
+	}
+}
+
+// Property: the subtree chunk is always a temporally-ordered subsequence
+// closed under the antecedent relation — no selected record has an
+// unselected earlier record naming a common object.
+func TestSubtreeClosureProperty(t *testing.T) {
+	type op struct {
+		Kind   uint8
+		File   uint8
+		Parent uint8
+	}
+	f := func(ops []op, pick uint8) bool {
+		l := NewLog()
+		l.SetOptimize(false) // keep every record so the property is pure
+		now := t0
+		for _, o := range ops {
+			now = now.Add(time.Second)
+			kind := []Kind{Create, Store, SetAttr, Remove}[o.Kind%4]
+			l.Append(Record{
+				Kind: kind, FID: fid(uint64(o.File%8) + 2),
+				Parent: fid(uint64(o.Parent%4) + 50), Name: "n",
+			}, now)
+		}
+		target := fid(uint64(pick%8) + 2)
+		chunk := l.BeginSubtreeReintegration(func(r *Record) bool { return r.FID == target })
+		if chunk == nil {
+			return true
+		}
+		selected := make(map[uint64]bool)
+		for _, r := range chunk {
+			selected[r.Seq] = true
+		}
+		// Temporal order within the chunk.
+		for i := 1; i < len(chunk); i++ {
+			if chunk[i].Seq <= chunk[i-1].Seq {
+				return false
+			}
+		}
+		// Closure: for every selected record, every earlier related
+		// record is selected too.
+		all := l.Records()
+		for i, r := range all {
+			if !selected[r.Seq] {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if !selected[all[j].Seq] && recordsRelated(all[j], r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

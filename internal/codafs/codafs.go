@@ -1,0 +1,149 @@
+// Package codafs defines the file-system object model shared by the Coda
+// server and the Venus client cache: file identifiers, object status blocks,
+// volumes, and path utilities.
+//
+// Terminology follows the paper: an "object" is a file, directory, or
+// symbolic link; objects are grouped into volumes, each forming a partial
+// subtree of the /coda name space; servers maintain version stamps on both
+// individual objects and whole volumes (the two granularities of cache
+// coherence from §4.2.1).
+package codafs
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// VolumeID names a volume.
+type VolumeID uint32
+
+// FID uniquely identifies an object within the file system.
+type FID struct {
+	Volume VolumeID
+	Vnode  uint64
+	Unique uint64
+}
+
+// IsZero reports whether the FID is the null identifier.
+func (f FID) IsZero() bool { return f == FID{} }
+
+// String renders the FID in the traditional dotted triple form.
+func (f FID) String() string {
+	return fmt.Sprintf("%d.%d.%d", f.Volume, f.Vnode, f.Unique)
+}
+
+// ObjType distinguishes the three kinds of objects.
+type ObjType uint8
+
+// Object kinds.
+const (
+	File ObjType = iota + 1
+	Directory
+	Symlink
+)
+
+func (t ObjType) String() string {
+	switch t {
+	case File:
+		return "file"
+	case Directory:
+		return "directory"
+	case Symlink:
+		return "symlink"
+	default:
+		return fmt.Sprintf("objtype(%d)", uint8(t))
+	}
+}
+
+// Status is an object's metadata block. The paper notes status information
+// is about 100 bytes, cheap to fetch even at modem speed (§4.4.1);
+// StatusWireSize preserves that costing in the simulator.
+type Status struct {
+	FID     FID
+	Type    ObjType
+	Length  int64
+	Version uint64 // object version stamp; bumped on every server update
+	ModTime time.Time
+	Mode    uint32
+	Owner   string
+	Links   uint32 // hard-link count (files and symlinks)
+}
+
+// StatusWireSize is the nominal on-the-wire size of a Status, in bytes.
+const StatusWireSize = 100
+
+// VolumeInfo is the client-visible description of a volume.
+type VolumeInfo struct {
+	ID    VolumeID
+	Name  string
+	Stamp uint64 // volume version stamp; bumped on every update to any object in the volume
+}
+
+// Object is the full representation of a file-system object: status plus
+// the type-specific payload. The server store and the Venus cache both use
+// it.
+type Object struct {
+	Status   Status
+	Data     []byte         // file contents (Type == File)
+	Children map[string]FID // directory entries (Type == Directory)
+	Target   string         // symlink target (Type == Symlink)
+}
+
+// Clone returns a deep copy of the object.
+func (o *Object) Clone() *Object {
+	c := &Object{Status: o.Status, Target: o.Target}
+	if o.Data != nil {
+		c.Data = append([]byte(nil), o.Data...)
+	}
+	if o.Children != nil {
+		c.Children = make(map[string]FID, len(o.Children))
+		for k, v := range o.Children {
+			c.Children[k] = v
+		}
+	}
+	return c
+}
+
+// ChildNames returns the directory's entry names in sorted order.
+func (o *Object) ChildNames() []string {
+	names := make([]string, 0, len(o.Children))
+	for n := range o.Children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MountPrefix is the root under which all volumes appear.
+const MountPrefix = "/coda"
+
+// SplitPath cleans an absolute /coda path and returns the volume name and
+// the per-volume component list. The volume root itself yields an empty
+// component list.
+func SplitPath(p string) (volume string, components []string, err error) {
+	p = path.Clean(p)
+	if !strings.HasPrefix(p, MountPrefix) {
+		return "", nil, fmt.Errorf("codafs: path %q is outside %s", p, MountPrefix)
+	}
+	rest := strings.TrimPrefix(p, MountPrefix)
+	rest = strings.TrimPrefix(rest, "/")
+	if rest == "" {
+		return "", nil, fmt.Errorf("codafs: path %q names no volume", p)
+	}
+	parts := strings.Split(rest, "/")
+	return parts[0], parts[1:], nil
+}
+
+// JoinPath assembles an absolute /coda path from a volume name and
+// components.
+func JoinPath(volume string, components ...string) string {
+	return path.Join(append([]string{MountPrefix, volume}, components...)...)
+}
+
+// ValidName reports whether name is usable as a directory entry.
+func ValidName(name string) bool {
+	return name != "" && name != "." && name != ".." && !strings.Contains(name, "/")
+}

@@ -1,0 +1,62 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(size int) (base, target []byte) {
+	rng := rand.New(rand.NewSource(1))
+	base = make([]byte, size)
+	rng.Read(base)
+	target = append([]byte(nil), base...)
+	for i := 0; i < 5; i++ {
+		target[rng.Intn(len(target))] ^= 0x42
+	}
+	return base, target
+}
+
+func BenchmarkSign1MB(b *testing.B) {
+	base, _ := benchData(1 << 20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sign(base, 0)
+	}
+}
+
+func BenchmarkCompute1MBLightEdit(b *testing.B) {
+	base, target := benchData(1 << 20)
+	sig := Sign(base, 0)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(sig, target)
+	}
+}
+
+func BenchmarkApply1MB(b *testing.B) {
+	base, target := benchData(1 << 20)
+	d := Compute(Sign(base, 0), target)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(base, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeWorstCaseUnrelated(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	base := make([]byte, 256<<10)
+	target := make([]byte, 256<<10)
+	rng.Read(base)
+	rng.Read(target)
+	sig := Sign(base, 0)
+	b.SetBytes(256 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(sig, target)
+	}
+}

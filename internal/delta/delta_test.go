@@ -1,0 +1,173 @@
+package delta
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, base, target []byte, blockSize int) Delta {
+	t.Helper()
+	sig := Sign(base, blockSize)
+	d := Compute(sig, target)
+	got, err := Apply(base, d)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("reconstruction differs: %d bytes vs %d", len(got), len(target))
+	}
+	return d
+}
+
+func TestIdenticalFilesTinyDelta(t *testing.T) {
+	base := bytes.Repeat([]byte("quickfox"), 2560) // 20 KB, block-aligned
+	d := roundTrip(t, base, base, 0)
+	if d.WireSize() > 200 {
+		t.Errorf("identical file delta = %d bytes, want ~header only", d.WireSize())
+	}
+}
+
+func TestSmallEditSmallDelta(t *testing.T) {
+	base := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(base)
+	target := append([]byte(nil), base...)
+	copy(target[30_000:], []byte("EDITED HERE"))
+	d := roundTrip(t, base, target, 0)
+	// One edited block plus headers; far below the 64 KB full transfer.
+	if d.WireSize() > 3*DefaultBlockSize {
+		t.Errorf("single-edit delta = %d bytes, want < %d", d.WireSize(), 3*DefaultBlockSize)
+	}
+}
+
+func TestInsertionShiftsHandled(t *testing.T) {
+	// An insertion near the front misaligns every later block; the
+	// rolling window must still find them at shifted offsets.
+	base := make([]byte, 40<<10)
+	rand.New(rand.NewSource(2)).Read(base)
+	target := append([]byte("inserted prefix text"), base...)
+	d := roundTrip(t, base, target, 0)
+	if d.WireSize() > 4<<10 {
+		t.Errorf("shifted-content delta = %d bytes; rolling match failed", d.WireSize())
+	}
+}
+
+func TestCompletelyDifferentFallsBackToLiterals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := make([]byte, 10<<10)
+	target := make([]byte, 12<<10)
+	rng.Read(base)
+	rng.Read(target)
+	d := roundTrip(t, base, target, 0)
+	if d.WireSize() < int64(len(target)) {
+		t.Errorf("unrelated-content delta %d bytes < target %d; suspicious", d.WireSize(), len(target))
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	roundTrip(t, nil, nil, 0)
+	roundTrip(t, nil, []byte("growing from nothing"), 0)
+	roundTrip(t, []byte("shrinking to nothing"), nil, 0)
+}
+
+func TestTargetSmallerThanBlock(t *testing.T) {
+	base := bytes.Repeat([]byte("b"), 10<<10)
+	roundTrip(t, base, []byte("tiny"), 0)
+}
+
+func TestApplyRejectsWrongBase(t *testing.T) {
+	base := bytes.Repeat([]byte("a"), 8<<10)
+	sig := Sign(base, 0)
+	d := Compute(sig, append(base, []byte("tail")...))
+	wrong := bytes.Repeat([]byte("x"), 8<<10)
+	if _, err := Apply(wrong, d); !errors.Is(err, ErrBaseMismatch) {
+		t.Errorf("Apply with wrong base: %v, want ErrBaseMismatch", err)
+	}
+}
+
+func TestApplyRejectsTamperedDelta(t *testing.T) {
+	base := bytes.Repeat([]byte("a"), 8<<10)
+	sig := Sign(base, 0)
+	target := append([]byte(nil), base...)
+	target[100] = 'z'
+	d := Compute(sig, target)
+	for i, op := range d.Ops {
+		if op.Literal != nil {
+			d.Ops[i].Literal[0] ^= 0xff
+			break
+		}
+	}
+	if _, err := Apply(base, d); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tampered delta: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCopyRunsCoalesced(t *testing.T) {
+	base := make([]byte, 32<<10)
+	rand.New(rand.NewSource(4)).Read(base)
+	sig := Sign(base, 0)
+	d := Compute(sig, base)
+	if len(d.Ops) != 1 || d.Ops[0].Literal != nil || d.Ops[0].Blocks != len(base)/DefaultBlockSize {
+		t.Errorf("identical file should be one copy run, got %d ops", len(d.Ops))
+	}
+}
+
+// Property: Apply(base, Compute(Sign(base), target)) == target for random
+// inputs built by mutating the base (the realistic case) and for unrelated
+// inputs.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeKB uint8, edits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, (int(sizeKB)+1)<<9) // 0.5–128 KB
+		rng.Read(base)
+		target := append([]byte(nil), base...)
+		for e := 0; e < int(edits%12); e++ {
+			switch rng.Intn(3) {
+			case 0: // overwrite
+				if len(target) > 10 {
+					off := rng.Intn(len(target) - 1)
+					target[off] ^= byte(rng.Intn(255) + 1)
+				}
+			case 1: // insert
+				off := rng.Intn(len(target) + 1)
+				ins := make([]byte, rng.Intn(500))
+				rng.Read(ins)
+				target = append(target[:off:off], append(ins, target[off:]...)...)
+			case 2: // delete
+				if len(target) > 600 {
+					off := rng.Intn(len(target) - 512)
+					n := rng.Intn(512)
+					target = append(target[:off:off], target[off+n:]...)
+				}
+			}
+		}
+		sig := Sign(base, 1024)
+		d := Compute(sig, target)
+		got, err := Apply(base, d)
+		return err == nil && bytes.Equal(got, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deltas of lightly-edited files are much smaller than the file.
+func TestDeltaCompressionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([]byte, 64<<10)
+		rng.Read(base)
+		target := append([]byte(nil), base...)
+		// Three point edits.
+		for i := 0; i < 3; i++ {
+			target[rng.Intn(len(target))] ^= 0x55
+		}
+		d := Compute(Sign(base, 0), target)
+		return d.WireSize() < int64(len(target))/4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codafs"
+	"repro/internal/netmon"
+	"repro/internal/netsim"
+	"repro/internal/rpc2"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/venus"
+)
+
+// AblationResult compares a design choice against its alternative on one
+// scalar metric.
+type AblationResult struct {
+	Name             string
+	Metric           string
+	Baseline         float64 // the paper's design
+	Alternative      float64 // the ablated design
+	BaselineLabel    string
+	AlternativeLabel string
+}
+
+// Render prints the comparison.
+func (r AblationResult) Render() string {
+	return fmt.Sprintf("Ablation %-18s %-28s %s=%.1f  %s=%.1f\n",
+		r.Name, "("+r.Metric+")", r.BaselineLabel, r.Baseline, r.AlternativeLabel, r.Alternative)
+}
+
+// AblationAging measures how the aging window affects traffic: shipped
+// bytes over a modem replay with A=600s (the default) versus A=0 (ship as
+// soon as possible). Without aging, records leave the CML before
+// optimizations can cancel them, so more data crosses the slow link.
+func AblationAging(opts Options) AblationResult {
+	shipped := func(aging time.Duration) float64 {
+		_, st := ablationReplay(opts, venus.Config{
+			AgingWindow:          aging,
+			PinWriteDisconnected: true,
+		}, netsim.Modem)
+		return float64(st.ShippedBytes) / 1024
+	}
+	// AgingWindow 0 means "default" in Config; use 1ns for "no aging".
+	return AblationResult{
+		Name: "aging-window", Metric: "KB shipped over modem",
+		Baseline: shipped(600 * time.Second), BaselineLabel: "A=600s",
+		Alternative: shipped(time.Nanosecond), AlternativeLabel: "A≈0",
+	}
+}
+
+// AblationLogOptimizations disables CML cancellations entirely.
+func AblationLogOptimizations(opts Options) AblationResult {
+	shipped := func(disable bool) float64 {
+		_, st := ablationReplay(opts, venus.Config{
+			AgingWindow:          600 * time.Second,
+			PinWriteDisconnected: true,
+			DisableLogOptimize:   disable,
+		}, netsim.Modem)
+		return float64(st.ShippedBytes+0) / 1024
+	}
+	return AblationResult{
+		Name: "log-optimizations", Metric: "KB shipped over modem",
+		Baseline: shipped(false), BaselineLabel: "optimized",
+		Alternative: shipped(true), AlternativeLabel: "disabled",
+	}
+}
+
+// AblationChunkSize compares the adaptive chunk (C sized to ~30 s of
+// bandwidth) against fixed tiny and huge chunks, measuring the worst-case
+// foreground fetch delay while trickle reintegration saturates a modem.
+func AblationChunkSize(opts Options) AblationResult {
+	delay := func(chunkSeconds int) float64 {
+		w := newWorld(opts.Seed + 31)
+		w.srv.CreateVolume("usr")
+		w.srv.WriteFile("usr", "wanted.txt", make([]byte, 4<<10))
+		var worst time.Duration
+		w.sim.Run(func() {
+			v := w.venus("client", venus.Config{
+				ClientID:             1,
+				AgingWindow:          time.Second,
+				ChunkSeconds:         chunkSeconds,
+				TrickleInterval:      time.Second,
+				PinWriteDisconnected: true,
+			})
+			if err := v.Mount("usr"); err != nil {
+				panic(err)
+			}
+			// The wanted file is hoarded at high priority so the patience
+			// model always permits its fetch; what varies is how long the
+			// fetch waits behind reintegration traffic.
+			v.HoardAdd("/coda/usr/wanted.txt", 900, false)
+			w.setLink("client", netsim.Modem)
+			v.Connect(netsim.Modem.Bandwidth)
+			// A large pending update saturates the uplink...
+			v.WriteFile("/coda/usr/big.out", make([]byte, 400<<10))
+			w.sim.Sleep(30 * time.Second)
+			// ...while the user misses on small files now and then. A
+			// starved foreground RPC can even time out and demote the
+			// client; the recovery time is part of what the user waits.
+			for i := 0; i < 10; i++ {
+				start := w.sim.Now()
+				for {
+					if _, err := v.ReadFile("/coda/usr/wanted.txt"); err == nil {
+						break
+					}
+					if v.State() == venus.Emulating {
+						v.Connect(netsim.Modem.Bandwidth)
+						v.WriteDisconnect()
+					}
+					w.sim.Sleep(5 * time.Second)
+				}
+				if d := w.sim.Now().Sub(start); d > worst {
+					worst = d
+				}
+				w.sim.Sleep(2 * time.Minute)
+				// Invalidate so the next read must refetch.
+				w.srv.WriteFile("usr", "wanted.txt", make([]byte, 4<<10))
+				w.sim.Sleep(5 * time.Second)
+			}
+		})
+		return seconds(worst)
+	}
+	// ChunkSeconds 30 (default, C=36KB at modem) vs 600 (C=720KB: the
+	// whole backlog in one chunk, starving foreground traffic).
+	return AblationResult{
+		Name: "chunk-size", Metric: "worst foreground fetch delay (s) at modem",
+		Baseline: delay(30), BaselineLabel: "C=30s·bw",
+		Alternative: delay(600), AlternativeLabel: "C=600s·bw",
+	}
+}
+
+// AblationVolumeCallbacks is Figure 8's comparison reduced to one number:
+// reconnection validation time at modem speed with and without volume
+// stamps, for a mid-sized cache.
+func AblationVolumeCallbacks(opts Options) AblationResult {
+	prof := Fig8Profile{User: "abl", Volumes: 6, Objects: 600, MeanKB: 8}
+	if opts.Quick {
+		prof.Objects = 200
+	}
+	timeFor := func(scheme string) float64 {
+		cells := fig8Run(opts, prof, scheme)
+		for _, c := range cells {
+			if c.Network.Name == "Modem" {
+				return c.Seconds
+			}
+		}
+		return 0
+	}
+	return AblationResult{
+		Name: "volume-callbacks", Metric: "modem validation time (s)",
+		Baseline: timeFor("volume"), BaselineLabel: "volume stamps",
+		Alternative: timeFor("object"), AlternativeLabel: "per-object",
+	}
+}
+
+// AblationAdaptiveRTO compares the Jacobson-adaptive retransmission timer
+// against a fixed 3-second timer on a lossy modem link, measuring total
+// time for a batch of small RPCs.
+func AblationAdaptiveRTO(opts Options) AblationResult {
+	run := func(fixed bool) float64 {
+		s := simtime.NewSim(simtime.Epoch1995)
+		net := netsim.New(s, opts.Seed+5)
+		p := netsim.Modem.Params()
+		p.LossRate = 0.05
+		net.SetDefaults(p)
+		var elapsed time.Duration
+		s.Run(func() {
+			rpc2.NewNode(s, net.Host("server"), netmon.NewMonitor(s), func(src string, b []byte) ([]byte, error) {
+				return b, nil
+			})
+			c := rpc2.NewNode(s, net.Host("client"), netmon.NewMonitor(s), nil)
+			peer := c.Monitor().Peer("server")
+			start := s.Now()
+			n := 60
+			if opts.Quick {
+				n = 20
+			}
+			for i := 0; i < n; i++ {
+				if fixed {
+					// Erase learned RTT so every call uses InitialRTO.
+					peer.Forget()
+				}
+				c.Call("server", []byte{byte(i)}, rpc2.CallOpts{Timeout: 5 * time.Minute, MaxRetries: 20})
+			}
+			elapsed = s.Now().Sub(start)
+		})
+		return seconds(elapsed)
+	}
+	return AblationResult{
+		Name: "adaptive-rto", Metric: "60 small RPCs over lossy modem (s)",
+		Baseline: run(false), BaselineLabel: "adaptive",
+		Alternative: run(true), AlternativeLabel: "fixed-3s",
+	}
+}
+
+// ablationReplay runs a short write-heavy replay over the given network and
+// returns the venus stats afterwards.
+func ablationReplay(opts Options, cfg venus.Config, prof netsim.Profile) (*venus.Venus, venus.Stats) {
+	p := trace.SegmentPreset("Messiaen", opts.Seed)
+	p.Duration = 20 * time.Minute
+	p.Updates = 60
+	p.RefsPerUpdate = 2
+	tr := trace.Generate(p)
+
+	w := newWorld(opts.Seed + 41)
+	if err := trace.SeedServer(w.srv, tr); err != nil {
+		panic(err)
+	}
+	cfg.ClientID = 1
+	cfg.CacheBytes = 1 << 30
+	cfg.TrickleInterval = 2 * time.Second
+	var stats venus.Stats
+	var v *venus.Venus
+	w.sim.Run(func() {
+		v = w.venus("client", cfg)
+		if err := v.Mount(tr.Volume); err != nil {
+			panic(err)
+		}
+		v.HoardAdd(codafs.JoinPath(tr.Volume), 600, true)
+		if err := v.HoardWalk(); err != nil {
+			panic(err)
+		}
+		v.WriteDisconnect()
+		w.setLink("client", prof)
+		v.Connect(prof.Bandwidth)
+		trace.Replay(w.sim, v, tr, trace.ReplayOpts{Lambda: time.Second})
+		// Let the trickle daemon finish what it can.
+		w.sim.Sleep(10 * time.Minute)
+		stats = v.Stats()
+	})
+	return v, stats
+}

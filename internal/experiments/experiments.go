@@ -1,0 +1,115 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated substrate. Each FigureN function builds
+// the worlds it needs (server, network emulator, Venus clients), runs the
+// experiment on virtual time, and returns a typed result whose Render
+// method prints rows in the paper's format. cmd/codabench and the
+// repository-level benchmarks call these; EXPERIMENTS.md records the
+// outputs next to the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/simtime"
+	"repro/internal/venus"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Seed drives all randomness; trials use Seed, Seed+1, ...
+	Seed int64
+	// Trials per cell (default 5, as in the paper).
+	Trials int
+	// Quick shrinks workloads for unit tests and benchmarks: fewer
+	// trials, smaller transfers, shorter simulated spans. Tables keep
+	// their shape but not their precision.
+	Quick bool
+}
+
+func (o *Options) fill() {
+	if o.Trials == 0 {
+		if o.Quick {
+			o.Trials = 2
+		} else {
+			o.Trials = 5
+		}
+	}
+}
+
+// world bundles one simulated deployment.
+type world struct {
+	sim *simtime.Sim
+	net *netsim.Network
+	srv *server.Server
+}
+
+func newWorld(seed int64) *world {
+	s := simtime.NewSim(simtime.Epoch1995)
+	n := netsim.New(s, seed)
+	n.SetDefaults(netsim.Ethernet.Params())
+	return &world{sim: s, net: n, srv: server.New(s, n.Host("server"))}
+}
+
+func (w *world) venus(name string, cfg venus.Config) *venus.Venus {
+	cfg.Server = "server"
+	return venus.New(w.sim, w.net.Host(name), cfg)
+}
+
+func (w *world) setLink(client string, p netsim.Profile) {
+	w.net.SetLink(client, "server", p.Params())
+}
+
+// meanStd returns the mean and (population) standard deviation of xs.
+func meanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	return mean, sd
+}
+
+// table is a small fixed-width text table builder for Render methods.
+type table struct {
+	b      strings.Builder
+	widths []int
+}
+
+func newTable(widths ...int) *table { return &table{widths: widths} }
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		w := 12
+		if i < len(t.widths) {
+			w = t.widths[i]
+		}
+		fmt.Fprintf(&t.b, "%-*s", w, c)
+	}
+	t.b.WriteByte('\n')
+}
+
+func (t *table) line() {
+	n := 0
+	for _, w := range t.widths {
+		n += w
+	}
+	t.b.WriteString(strings.Repeat("-", n))
+	t.b.WriteByte('\n')
+}
+
+func (t *table) String() string { return t.b.String() }
+
+func kb(n int64) string { return fmt.Sprintf("%d", (n+512)/1024) }
+
+func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }

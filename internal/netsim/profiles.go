@@ -1,0 +1,65 @@
+package netsim
+
+import "time"
+
+// Profile is a named network technology, matching the networks used
+// throughout the paper's evaluation (Figures 1, 8, 12, 13, 14).
+type Profile struct {
+	Name   string
+	Letter string // single-letter tag used in the paper's graphs
+	// Bandwidth is the nominal link speed in bits per second.
+	Bandwidth int64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+}
+
+// The four network technologies of the paper's evaluation.
+var (
+	Ethernet = Profile{Name: "Ethernet", Letter: "E", Bandwidth: 10e6, Latency: 500 * time.Microsecond}
+	WaveLan  = Profile{Name: "WaveLan", Letter: "W", Bandwidth: 2e6, Latency: 2 * time.Millisecond}
+	ISDN     = Profile{Name: "ISDN", Letter: "I", Bandwidth: 64e3, Latency: 10 * time.Millisecond}
+	Modem    = Profile{Name: "Modem", Letter: "M", Bandwidth: 9600, Latency: 100 * time.Millisecond}
+)
+
+// StandardNetworks lists the paper's networks fastest-first, the order used
+// in its tables.
+var StandardNetworks = []Profile{Ethernet, WaveLan, ISDN, Modem}
+
+// Params converts the profile into link parameters, keeping the default
+// MTU, queueing, and framing overhead.
+func (p Profile) Params() LinkParams {
+	lp := DefaultLinkParams()
+	lp.Bandwidth = p.Bandwidth
+	lp.Latency = p.Latency
+	return lp
+}
+
+// SpeedLabel renders the nominal speed the way the paper prints it,
+// e.g. "10 Mb/s" or "9.6 Kb/s".
+func (p Profile) SpeedLabel() string {
+	switch {
+	case p.Bandwidth >= 1e6:
+		return trimZero(float64(p.Bandwidth)/1e6) + " Mb/s"
+	default:
+		return trimZero(float64(p.Bandwidth)/1e3) + " Kb/s"
+	}
+}
+
+func trimZero(f float64) string {
+	s := make([]byte, 0, 8)
+	whole := int64(f)
+	s = appendInt(s, whole)
+	frac := int64(f*10+0.5) - whole*10
+	if frac != 0 {
+		s = append(s, '.')
+		s = appendInt(s, frac)
+	}
+	return string(s)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}

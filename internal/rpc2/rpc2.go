@@ -1,0 +1,489 @@
+// Package rpc2 is the remote procedure call layer of the reproduction,
+// modeled on Coda's RPC2 (§4.1).
+//
+// Characteristics carried over from the paper's description:
+//
+//   - Adaptive retransmission: round-trip times are measured with timestamp
+//     echoing (every packet carries a microsecond timestamp; replies echo
+//     the timestamp of the specific copy they answer, so samples remain
+//     valid across retransmissions — Karn's problem does not arise). The
+//     samples feed the shared netmon estimator, whose Jacobson RTO drives
+//     both RPC2 and SFTP retransmission, so the protocols work from LAN
+//     speeds down to a 1.2 Kb/s serial line.
+//   - Unified keepalives: any packet from a peer — request, reply, BUSY,
+//     probe, or SFTP data/ack — refreshes the peer's liveness in netmon,
+//     which Venus reads instead of generating its own keepalive traffic.
+//   - BUSY responses: a server that is still executing a request answers
+//     duplicate transmissions with BUSY, which parks the client without
+//     backoff; long operations (reintegration) thus do not look like dead
+//     servers.
+//   - Side effects: bodies larger than one datagram travel via the SFTP
+//     engine bound to the same endpoint, then a small header packet
+//     references the completed transfer.
+//
+// A Node is symmetric: it issues calls and serves a handler, so servers can
+// call clients (callback breaks) exactly as clients call servers.
+package rpc2
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netmon"
+	"repro/internal/netsim"
+	"repro/internal/sftp"
+	"repro/internal/simtime"
+)
+
+// Packet kinds.
+const (
+	kindReq      = 1
+	kindRep      = 2
+	kindBusy     = 3
+	kindProbe    = 4
+	kindProbeAck = 5
+	kindSFTP     = 6
+)
+
+// Flags.
+const (
+	flagBodyViaSFTP = 1 << 0
+	flagAppError    = 1 << 1
+)
+
+// InlineLimit is the largest body carried inside the request/reply packet
+// itself; larger bodies go through SFTP.
+const InlineLimit = 1024
+
+// Defaults for CallOpts.
+const (
+	DefaultTimeout    = 60 * time.Second
+	DefaultMaxRetries = 8
+	// sftpAwaitSlack bounds how long a node waits for a side-effect
+	// transfer announced by a header packet.
+	sftpAwaitSlack = 5 * time.Minute
+)
+
+// Errors.
+var (
+	// ErrTimeout reports that the peer never answered.
+	ErrTimeout = errors.New("rpc2: call timed out")
+	// ErrClosed reports a call on a closed node.
+	ErrClosed = errors.New("rpc2: node closed")
+)
+
+// RemoteError is an application-level failure returned by the peer's
+// handler. The RPC itself succeeded.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc2: remote: " + e.Msg }
+
+// Handler serves incoming calls. Returning a non-nil error ships the error
+// string to the caller as a RemoteError.
+type Handler func(src string, body []byte) ([]byte, error)
+
+// CallOpts tunes one call.
+type CallOpts struct {
+	// Timeout bounds the whole call; zero means DefaultTimeout.
+	Timeout time.Duration
+	// MaxRetries bounds header retransmissions; zero means
+	// DefaultMaxRetries. Negative means no retries.
+	MaxRetries int
+}
+
+// Node is one RPC2 endpoint: a datagram socket plus an SFTP engine, a
+// handler for incoming calls, and shared peer estimates.
+type Node struct {
+	clock   simtime.Clock
+	conn    netsim.PacketConn
+	mon     *netmon.Monitor
+	engine  *sftp.Engine
+	handler Handler
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*simtime.Queue[inbound]
+	// replyCache remembers recent replies per peer for duplicate
+	// suppression (at-most-once execution).
+	replyCache map[string]*peerCache
+	closed     bool
+
+	epoch time.Time // base for 32-bit microsecond timestamps
+}
+
+type inbound struct {
+	kind   byte
+	flags  byte
+	tsEcho uint32
+	body   []byte
+	src    string
+}
+
+type peerCache struct {
+	inProgress map[uint64]bool
+	replies    map[uint64]wireReply
+	order      []uint64
+}
+
+type wireReply struct {
+	flags byte
+	body  []byte
+}
+
+// NewNode creates a node on conn and starts its receive loop. handler may
+// be nil for pure clients.
+func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, handler Handler) *Node {
+	n := &Node{
+		clock:      clock,
+		conn:       conn,
+		mon:        mon,
+		handler:    handler,
+		pending:    make(map[uint64]*simtime.Queue[inbound]),
+		replyCache: make(map[string]*peerCache),
+		// Back-date the epoch so a timestamp can never be zero (zero
+		// means "no echo" on the wire).
+		epoch: clock.Now().Add(-time.Millisecond),
+	}
+	n.engine = sftp.NewEngine(clock, mon, func(dst string, payload []byte) error {
+		return conn.Send(dst, append([]byte{kindSFTP}, payload...))
+	})
+	clock.Go(n.recvLoop)
+	return n
+}
+
+// Addr returns the node's own address.
+func (n *Node) Addr() string { return n.conn.LocalAddr() }
+
+// Monitor returns the shared peer estimator (exported to Venus, per §4.1).
+func (n *Node) Monitor() *netmon.Monitor { return n.mon }
+
+// Transfer ships data to dst over the node's SFTP engine outside any RPC;
+// the peer claims it with AwaitTransfer. Used by the Figure 1 benchmark and
+// available for raw bulk movement.
+func (n *Node) Transfer(dst string, id uint64, data []byte) error {
+	return n.engine.Send(dst, userXferID(id), data)
+}
+
+// AwaitTransfer receives a raw transfer sent with Transfer.
+func (n *Node) AwaitTransfer(src string, id uint64, timeout time.Duration) ([]byte, error) {
+	return n.engine.Await(src, userXferID(id), timeout)
+}
+
+// Close shuts the node down; in-flight calls fail with ErrClosed.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, q := range n.pending {
+		q.Close()
+	}
+	n.mu.Unlock()
+	n.conn.Close()
+}
+
+// Call sends body to dst and returns the peer handler's reply.
+func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	peer := n.mon.Peer(dst)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	n.seq++
+	seq := n.seq
+	replies := simtime.NewQueue[inbound](n.clock)
+	n.pending[seq] = replies
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.pending, seq)
+		n.mu.Unlock()
+	}()
+
+	start := n.clock.Now()
+	deadline := start.Add(opts.Timeout)
+
+	flags := byte(0)
+	wireBody := body
+	if len(body) > InlineLimit {
+		// Ship the body via SFTP first; the header packet then refers
+		// to the completed transfer.
+		if err := n.engine.Send(dst, reqXferID(seq), body); err != nil {
+			return nil, fmt.Errorf("rpc2: request side effect: %w", err)
+		}
+		flags |= flagBodyViaSFTP
+		wireBody = nil
+	}
+
+	send := func() {
+		n.conn.Send(dst, encodePacket(kindReq, flags, seq, n.ticks(), 0, wireBody))
+	}
+	send()
+
+	retries := 0
+	rto := peer.RTO()
+	for {
+		remain := deadline.Sub(n.clock.Now())
+		if remain <= 0 {
+			return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, dst, opts.Timeout)
+		}
+		wait := rto
+		if wait > remain {
+			wait = remain
+		}
+		in, ok := replies.GetTimeout(wait)
+		if !ok {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return nil, ErrClosed
+			}
+			retries++
+			if retries > opts.MaxRetries {
+				return nil, fmt.Errorf("%w: %s after %d retries", ErrTimeout, dst, retries-1)
+			}
+			rto *= 2
+			if rto > netmon.MaxRTO {
+				rto = netmon.MaxRTO
+			}
+			send()
+			continue
+		}
+		switch in.kind {
+		case kindBusy:
+			// Server is working on it: wait a full fresh RTO without
+			// counting a retry or backing off.
+			n.observeEcho(peer, in.tsEcho)
+			retries = 0
+			rto = peer.RTO()
+			continue
+		case kindRep:
+			n.observeEcho(peer, in.tsEcho)
+			rep := in.body
+			if in.flags&flagBodyViaSFTP != 0 {
+				var err error
+				rep, err = n.engine.Await(dst, repXferID(seq), sftpAwaitSlack)
+				if err != nil {
+					return nil, fmt.Errorf("rpc2: reply side effect: %w", err)
+				}
+			}
+			elapsed := n.clock.Now().Sub(start)
+			peer.ObserveTransfer(int64(len(body)+len(rep)+64), elapsed)
+			if in.flags&flagAppError != 0 {
+				return nil, &RemoteError{Msg: string(rep)}
+			}
+			return rep, nil
+		}
+	}
+}
+
+// Probe performs a liveness/RTT exchange with dst using dedicated probe
+// packets (no handler involvement on the peer).
+func (n *Node) Probe(dst string, timeout time.Duration) error {
+	peer := n.mon.Peer(dst)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.seq++
+	seq := n.seq
+	replies := simtime.NewQueue[inbound](n.clock)
+	n.pending[seq] = replies
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.pending, seq)
+		n.mu.Unlock()
+	}()
+
+	deadline := n.clock.Now().Add(timeout)
+	rto := peer.RTO()
+	for {
+		n.conn.Send(dst, encodePacket(kindProbe, 0, seq, n.ticks(), 0, nil))
+		remain := deadline.Sub(n.clock.Now())
+		if remain <= 0 {
+			return fmt.Errorf("%w: probe %s", ErrTimeout, dst)
+		}
+		wait := rto
+		if wait > remain {
+			wait = remain
+		}
+		if _, ok := replies.GetTimeout(wait); ok {
+			return nil
+		}
+		rto *= 2
+		if rto > netmon.MaxRTO {
+			rto = netmon.MaxRTO
+		}
+	}
+}
+
+func (n *Node) recvLoop() {
+	for {
+		payload, src, ok := n.conn.Recv()
+		if !ok {
+			return
+		}
+		n.mon.Peer(src).Heard()
+		if len(payload) == 0 {
+			continue
+		}
+		if payload[0] == kindSFTP {
+			n.engine.Deliver(src, payload[1:])
+			continue
+		}
+		kind, flags, seq, ts, tsEcho, body, ok := decodePacket(payload)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case kindReq:
+			n.handleRequest(src, flags, seq, ts, body)
+		case kindRep, kindBusy:
+			n.mu.Lock()
+			q := n.pending[seq]
+			n.mu.Unlock()
+			if q != nil {
+				q.Put(inbound{kind: kind, flags: flags, tsEcho: tsEcho, body: body, src: src})
+			}
+		case kindProbe:
+			n.conn.Send(src, encodePacket(kindProbeAck, 0, seq, n.ticks(), ts, nil))
+		case kindProbeAck:
+			n.observeEcho(n.mon.Peer(src), tsEcho)
+			n.mu.Lock()
+			q := n.pending[seq]
+			n.mu.Unlock()
+			if q != nil {
+				q.Put(inbound{kind: kind, tsEcho: tsEcho, src: src})
+			}
+		}
+	}
+}
+
+func (n *Node) handleRequest(src string, flags byte, seq uint64, ts uint32, body []byte) {
+	n.mu.Lock()
+	pc := n.replyCache[src]
+	if pc == nil {
+		pc = &peerCache{inProgress: make(map[uint64]bool), replies: make(map[uint64]wireReply)}
+		n.replyCache[src] = pc
+	}
+	if rep, done := pc.replies[seq]; done {
+		n.mu.Unlock()
+		n.conn.Send(src, encodePacket(kindRep, rep.flags, seq, n.ticks(), ts, rep.body))
+		return
+	}
+	if pc.inProgress[seq] {
+		n.mu.Unlock()
+		n.conn.Send(src, encodePacket(kindBusy, 0, seq, n.ticks(), ts, nil))
+		return
+	}
+	pc.inProgress[seq] = true
+	n.mu.Unlock()
+
+	n.clock.Go(func() {
+		reqBody := body
+		if flags&flagBodyViaSFTP != 0 {
+			var err error
+			reqBody, err = n.engine.Await(src, reqXferID(seq), sftpAwaitSlack)
+			if err != nil {
+				n.mu.Lock()
+				delete(pc.inProgress, seq)
+				n.mu.Unlock()
+				return // client will retry or give up
+			}
+		}
+
+		var repFlags byte
+		var repBody []byte
+		if n.handler == nil {
+			repFlags = flagAppError
+			repBody = []byte("no handler")
+		} else if out, err := n.handler(src, reqBody); err != nil {
+			repFlags = flagAppError
+			repBody = []byte(err.Error())
+		} else {
+			repBody = out
+		}
+
+		wire := repBody
+		if len(repBody) > InlineLimit {
+			if err := n.engine.Send(src, repXferID(seq), repBody); err != nil {
+				n.mu.Lock()
+				delete(pc.inProgress, seq)
+				n.mu.Unlock()
+				return
+			}
+			repFlags |= flagBodyViaSFTP
+			wire = nil
+		}
+
+		n.mu.Lock()
+		delete(pc.inProgress, seq)
+		pc.replies[seq] = wireReply{flags: repFlags, body: wire}
+		pc.order = append(pc.order, seq)
+		if len(pc.order) > 256 {
+			delete(pc.replies, pc.order[0])
+			pc.order = pc.order[1:]
+		}
+		n.mu.Unlock()
+		n.conn.Send(src, encodePacket(kindRep, repFlags, seq, n.ticks(), ts, wire))
+	})
+}
+
+// ticks returns the node's clock as truncated microseconds for timestamp
+// echoing. Wraparound (~71 minutes) is handled by unsigned subtraction.
+func (n *Node) ticks() uint32 {
+	return uint32(n.clock.Now().Sub(n.epoch) / time.Microsecond)
+}
+
+func (n *Node) observeEcho(peer *netmon.Peer, tsEcho uint32) {
+	if tsEcho == 0 {
+		return
+	}
+	delta := n.ticks() - tsEcho // wraps correctly
+	if delta < 1<<31 {
+		peer.ObserveRTT(time.Duration(delta) * time.Microsecond)
+	}
+}
+
+// Transfer-ID spaces: request bodies, reply bodies, and user transfers must
+// not collide on (peer, id).
+func reqXferID(seq uint64) uint64 { return seq << 2 }
+func repXferID(seq uint64) uint64 { return seq<<2 | 1 }
+func userXferID(id uint64) uint64 { return id<<2 | 2 }
+
+// Packet layout: kind(1) flags(1) seq(8) ts(4) tsEcho(4) body.
+func encodePacket(kind, flags byte, seq uint64, ts, tsEcho uint32, body []byte) []byte {
+	buf := make([]byte, 18+len(body))
+	buf[0] = kind
+	buf[1] = flags
+	binary.BigEndian.PutUint64(buf[2:], seq)
+	binary.BigEndian.PutUint32(buf[10:], ts)
+	binary.BigEndian.PutUint32(buf[14:], tsEcho)
+	copy(buf[18:], body)
+	return buf
+}
+
+func decodePacket(p []byte) (kind, flags byte, seq uint64, ts, tsEcho uint32, body []byte, ok bool) {
+	if len(p) < 18 {
+		return 0, 0, 0, 0, 0, nil, false
+	}
+	return p[0], p[1], binary.BigEndian.Uint64(p[2:]),
+		binary.BigEndian.Uint32(p[10:]), binary.BigEndian.Uint32(p[14:]), p[18:], true
+}

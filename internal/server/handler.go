@@ -1,0 +1,384 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/delta"
+	"repro/internal/wire"
+)
+
+// handle dispatches one incoming RPC. Connected-mode mutations and
+// reintegration share the applyCtx machinery, so conflict semantics are
+// identical whichever path an update takes to the server.
+func (s *Server) handle(src string, body []byte) ([]byte, error) {
+	v, err := wire.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Calls++
+	s.mu.Unlock()
+
+	var rep any
+	switch req := v.(type) {
+	case wire.ConnectClient:
+		s.mu.Lock()
+		s.clients[src] = true
+		s.mu.Unlock()
+		rep = wire.ConnectClientRep{ServerTime: s.clock.Now()}
+
+	case wire.GetVolume:
+		rep, err = s.getVolume(req)
+	case wire.ListVolumes:
+		rep = s.listVolumes()
+	case wire.GetAttr:
+		rep, err = s.getAttr(src, req)
+	case wire.Fetch:
+		rep, err = s.fetch(src, req)
+	case wire.ValidateVolumes:
+		rep = s.validateVolumes(src, req)
+	case wire.ValidateObjects:
+		rep = s.validateObjects(src, req)
+	case wire.GetVolumeStamp:
+		rep, err = s.getVolumeStamp(src, req)
+
+	case wire.StoreOp:
+		rep, err = s.mutate(src, cml.Record{
+			Kind: cml.Store, FID: req.FID, Data: req.Data,
+			Length: int64(len(req.Data)), PrevVersion: req.PrevVersion,
+		}, req.FID)
+	case wire.SetAttrOp:
+		rep, err = s.mutate(src, cml.Record{
+			Kind: cml.SetAttr, FID: req.FID, Mode: req.Mode,
+			ModTime: req.ModTime, PrevVersion: req.PrevVersion,
+		}, req.FID)
+	case wire.MakeObject:
+		rep, err = s.makeObject(src, req)
+	case wire.RemoveOp:
+		kind := cml.Remove
+		if req.Rmdir {
+			kind = cml.Rmdir
+		}
+		rep, err = s.mutate(src, cml.Record{
+			Kind: kind, FID: req.FID, Parent: req.Parent, Name: req.Name,
+		}, req.Parent)
+	case wire.RenameOp:
+		rep, err = s.mutate(src, cml.Record{
+			Kind: cml.Rename, FID: req.FID, Parent: req.Parent, Name: req.Name,
+			NewParent: req.NewParent, NewName: req.NewName,
+		}, req.FID)
+	case wire.LinkOp:
+		rep, err = s.mutate(src, cml.Record{
+			Kind: cml.Link, FID: req.FID, Parent: req.Parent, Name: req.Name,
+		}, req.FID)
+
+	case wire.Reintegrate:
+		rep, err = s.reintegrate(src, req)
+	case wire.PutFragment:
+		rep, err = s.putFragment(src, req)
+
+	default:
+		err = fmt.Errorf("server: unknown request %T", v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return wire.Encode(rep)
+}
+
+func (s *Server) getVolume(req wire.GetVolume) (wire.GetVolumeRep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byName[req.Name]
+	if !ok {
+		return wire.GetVolumeRep{}, fmt.Errorf("no volume %q", req.Name)
+	}
+	v := s.volumes[id]
+	return wire.GetVolumeRep{Info: v.info, Root: v.objects[v.root].Status}, nil
+}
+
+func (s *Server) listVolumes() wire.ListVolumesRep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep wire.ListVolumesRep
+	for _, v := range s.volumes {
+		rep.Infos = append(rep.Infos, v.info)
+	}
+	return rep
+}
+
+func (s *Server) getAttr(src string, req wire.GetAttr) (wire.GetAttrRep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, o, err := s.lookupLocked(req.FID)
+	if err != nil {
+		return wire.GetAttrRep{}, err
+	}
+	if req.WantCallback {
+		s.registerObjCallbackLocked(v, req.FID, src)
+	}
+	return wire.GetAttrRep{Status: o.Status}, nil
+}
+
+func (s *Server) fetch(src string, req wire.Fetch) (wire.FetchRep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, o, err := s.lookupLocked(req.FID)
+	if err != nil {
+		return wire.FetchRep{}, err
+	}
+	if req.WantCallback {
+		s.registerObjCallbackLocked(v, req.FID, src)
+	}
+	return wire.FetchRep{Object: *o.Clone()}, nil
+}
+
+func (s *Server) validateVolumes(src string, req wire.ValidateVolumes) wire.ValidateVolumesRep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := wire.ValidateVolumesRep{
+		Valid:  make([]bool, len(req.Volumes)),
+		Stamps: make([]uint64, len(req.Volumes)),
+	}
+	for i, pair := range req.Volumes {
+		v, ok := s.volumes[pair.ID]
+		if !ok {
+			continue
+		}
+		rep.Stamps[i] = v.info.Stamp
+		if v.info.Stamp == pair.Stamp {
+			rep.Valid[i] = true
+			v.volCallbacks[src] = true // granted as a side effect (§4.2.2)
+		}
+	}
+	return rep
+}
+
+func (s *Server) validateObjects(src string, req wire.ValidateObjects) wire.ValidateObjectsRep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := wire.ValidateObjectsRep{
+		Valid:    make([]bool, len(req.Objects)),
+		Statuses: make([]codafs.Status, len(req.Objects)),
+	}
+	for i, fv := range req.Objects {
+		v, ok := s.volumes[fv.FID.Volume]
+		if !ok {
+			continue
+		}
+		o, ok := v.objects[fv.FID]
+		if !ok {
+			continue // removed: zero status signals the client to drop it
+		}
+		rep.Statuses[i] = o.Status
+		if o.Status.Version == fv.Version {
+			rep.Valid[i] = true
+			s.registerObjCallbackLocked(v, fv.FID, src)
+		}
+	}
+	return rep
+}
+
+func (s *Server) getVolumeStamp(src string, req wire.GetVolumeStamp) (wire.GetVolumeStampRep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[req.Volume]
+	if !ok {
+		return wire.GetVolumeStampRep{}, fmt.Errorf("no volume %d", req.Volume)
+	}
+	v.volCallbacks[src] = true
+	return wire.GetVolumeStampRep{Stamp: v.info.Stamp}, nil
+}
+
+func (s *Server) lookupLocked(fid codafs.FID) (*volume, *codafs.Object, error) {
+	v, ok := s.volumes[fid.Volume]
+	if !ok {
+		return nil, nil, fmt.Errorf("no volume %d", fid.Volume)
+	}
+	o, ok := v.objects[fid]
+	if !ok {
+		return nil, nil, fmt.Errorf("no object %s", fid)
+	}
+	return v, o, nil
+}
+
+func (s *Server) registerObjCallbackLocked(v *volume, fid codafs.FID, client string) {
+	cbs := v.objCallbacks[fid]
+	if cbs == nil {
+		cbs = make(map[string]bool)
+		v.objCallbacks[fid] = cbs
+	}
+	cbs[client] = true
+}
+
+// mutate runs one connected-mode update through the shared apply machinery.
+// repFID selects which touched object's status is returned as Status.
+func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.MutateRep, error) {
+	s.mu.Lock()
+	v, ok := s.volumes[rec.FID.Volume]
+	if !ok {
+		s.mu.Unlock()
+		return wire.MutateRep{}, fmt.Errorf("no volume %d", rec.FID.Volume)
+	}
+	a := newApply(v)
+	res := s.applyRecord(a, &rec, src)
+	if !res.OK {
+		s.mu.Unlock()
+		return wire.MutateRep{}, fmt.Errorf("%s", res.Msg)
+	}
+	statuses, stamp, breaks := s.commitApply(a, src)
+	s.stats.RecordsApplied++
+	rep := wire.MutateRep{VolStamp: stamp}
+	for _, st := range statuses {
+		if st.FID == repFID {
+			rep.Status = st
+		}
+		if st.FID == rec.Parent {
+			rep.ParentStatus = st
+		}
+	}
+	s.mu.Unlock()
+	s.dispatchBreaks(breaks)
+	return rep, nil
+}
+
+func (s *Server) makeObject(src string, req wire.MakeObject) (wire.MakeObjectRep, error) {
+	kind := cml.Create
+	switch req.Type {
+	case codafs.Directory:
+		kind = cml.Mkdir
+	case codafs.Symlink:
+		kind = cml.MakeSymlink
+	}
+	rec := cml.Record{
+		Kind: kind, FID: req.FID, Parent: req.Parent, Name: req.Name,
+		Target: req.Target, Mode: req.Mode, Owner: req.Owner,
+	}
+	mrep, err := s.mutate(src, rec, req.FID)
+	if err != nil {
+		return wire.MakeObjectRep{}, err
+	}
+	return wire.MakeObjectRep{
+		Status:       mrep.Status,
+		ParentStatus: mrep.ParentStatus,
+		VolStamp:     mrep.VolStamp,
+	}, nil
+}
+
+func (s *Server) putFragment(src string, req wire.PutFragment) (wire.PutFragmentRep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := fragKey{client: src, transfer: req.Transfer}
+	fb := s.frags[k]
+	if fb == nil {
+		fb = &fragBuf{total: req.Total}
+		s.frags[k] = fb
+	}
+	have := int64(len(fb.data))
+	switch {
+	case req.Offset < have:
+		// Duplicate or overlapping resend; keep what we have.
+	case req.Offset == have:
+		fb.data = append(fb.data, req.Data...)
+	default:
+		// Gap: tell the client where to resume (§4.3.5).
+	}
+	return wire.PutFragmentRep{Received: int64(len(fb.data))}, nil
+}
+
+func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.ReintegrateRep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[req.Volume]
+	if !ok {
+		return wire.ReintegrateRep{}, fmt.Errorf("no volume %d", req.Volume)
+	}
+	s.stats.Reintegrations++
+
+	// Attach fragment data. The server does not logically attempt
+	// reintegration until whole files have arrived (§4.3.5).
+	recs := make([]cml.Record, len(req.Records))
+	copy(recs, req.Records)
+	var usedFrags []fragKey
+	for idx, tid := range req.Fragments {
+		if idx < 0 || idx >= len(recs) {
+			return wire.ReintegrateRep{}, fmt.Errorf("fragment index %d out of range", idx)
+		}
+		k := fragKey{client: src, transfer: tid}
+		fb := s.frags[k]
+		if fb == nil || int64(len(fb.data)) != fb.total {
+			return wire.ReintegrateRep{}, fmt.Errorf("fragment transfer %d incomplete", tid)
+		}
+		recs[idx].Data = fb.data
+		recs[idx].Length = fb.total
+		usedFrags = append(usedFrags, k)
+	}
+
+	rep := wire.ReintegrateRep{Results: make([]wire.RecordResult, len(recs))}
+
+	// Reconstruct delta-shipped stores against the server's current
+	// contents (§4.1's "ship file differences" enhancement). A base
+	// mismatch fails the chunk atomically; the client retries with full
+	// contents.
+	for idx, dd := range req.Deltas {
+		if idx < 0 || idx >= len(recs) || recs[idx].Kind != cml.Store {
+			return wire.ReintegrateRep{}, fmt.Errorf("delta index %d invalid", idx)
+		}
+		obj, ok := v.objects[recs[idx].FID]
+		if !ok {
+			rep.Results[idx] = wire.RecordResult{Conflict: true, Msg: "delta store: object removed on server"}
+			rep.VolStamp = v.info.Stamp
+			s.stats.ReintegrationFails++
+			return rep, nil
+		}
+		newData, err := delta.Apply(obj.Data, dd)
+		if err != nil {
+			rep.Results[idx] = wire.RecordResult{DeltaFailed: true, Msg: err.Error()}
+			rep.VolStamp = v.info.Stamp
+			s.stats.ReintegrationFails++
+			return rep, nil
+		}
+		recs[idx].Data = newData
+		recs[idx].Length = int64(len(newData))
+	}
+
+	a := newApply(v)
+	ok = true
+	for i := range recs {
+		if !ok {
+			rep.Results[i] = wire.RecordResult{Msg: "not attempted"}
+			continue
+		}
+		res := s.applyRecord(a, &recs[i], src)
+		rep.Results[i] = res
+		if !res.OK {
+			ok = false
+			if res.Conflict {
+				s.stats.Conflicts++
+			}
+		}
+	}
+	if !ok {
+		// Atomicity: nothing applied, overlay dropped, fragments kept
+		// so a retry need not reship them.
+		s.stats.ReintegrationFails++
+		rep.VolStamp = v.info.Stamp
+		return rep, nil
+	}
+	statuses, stamp, breaks := s.commitApply(a, src)
+	s.stats.RecordsApplied += int64(len(recs))
+	for _, k := range usedFrags {
+		delete(s.frags, k)
+	}
+	rep.Applied = true
+	rep.Statuses = statuses
+	rep.VolStamp = stamp
+
+	// Deliver breaks without holding the lock for the network part.
+	s.mu.Unlock()
+	s.dispatchBreaks(breaks)
+	s.mu.Lock() // re-acquire for the deferred unlock
+	return rep, nil
+}

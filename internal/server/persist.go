@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codafs"
+)
+
+// Persistence for server state. Volumes, objects, version stamps, and the
+// authorship map survive a restart; callback registrations deliberately do
+// not — a restarted server has lost its promises, and clients discover
+// that through validation, exactly the crash-recovery story of real Coda
+// servers (and why reintegration is atomic: a retry after a crash is safe).
+
+// volumeImage is the serialized form of one volume.
+type volumeImage struct {
+	Info       codafs.VolumeInfo
+	Root       codafs.FID
+	NextVnode  uint64
+	Objects    []codafs.Object
+	LastAuthor map[codafs.FID]string
+}
+
+// serverImage is the serialized form of a Server's durable state.
+type serverImage struct {
+	Volumes   []volumeImage
+	NextVolID codafs.VolumeID
+}
+
+// SaveState writes all volumes to w.
+func (s *Server) SaveState(w io.Writer) error {
+	s.mu.Lock()
+	img := serverImage{NextVolID: s.nextVolID}
+	for _, v := range s.volumes {
+		vi := volumeImage{
+			Info:       v.info,
+			Root:       v.root,
+			NextVnode:  v.nextVnode,
+			LastAuthor: v.lastAuthor,
+		}
+		for _, o := range v.objects {
+			vi.Objects = append(vi.Objects, *o.Clone())
+		}
+		img.Volumes = append(img.Volumes, vi)
+	}
+	s.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(img); err != nil {
+		return fmt.Errorf("server: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores volumes saved by SaveState into a server that has no
+// volumes yet.
+func (s *Server) LoadState(r io.Reader) error {
+	var img serverImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("server: load state: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.volumes) > 0 {
+		return fmt.Errorf("server: LoadState on a non-empty server")
+	}
+	s.nextVolID = img.NextVolID
+	for _, vi := range img.Volumes {
+		v := &volume{
+			info:         vi.Info,
+			root:         vi.Root,
+			nextVnode:    vi.NextVnode,
+			objects:      make(map[codafs.FID]*codafs.Object, len(vi.Objects)),
+			lastAuthor:   vi.LastAuthor,
+			objCallbacks: make(map[codafs.FID]map[string]bool),
+			volCallbacks: make(map[string]bool),
+		}
+		if v.lastAuthor == nil {
+			v.lastAuthor = make(map[codafs.FID]string)
+		}
+		for i := range vi.Objects {
+			o := vi.Objects[i]
+			v.objects[o.Status.FID] = &o
+		}
+		s.volumes[vi.Info.ID] = v
+		s.byName[vi.Info.Name] = vi.Info.ID
+	}
+	return nil
+}
+
+// SaveStateFile persists to path atomically.
+func (s *Server) SaveStateFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStateFile restores from a SaveStateFile image; a missing file is not
+// an error (first boot).
+func (s *Server) LoadStateFile(path string) error {
+	f, err := os.Open(filepath.Clean(path))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadState(f)
+}

@@ -1,0 +1,436 @@
+// Package server implements the Coda file server of the reproduction.
+//
+// A Server exports volumes of objects to Venus clients over rpc2/wire. It
+// maintains the two granularities of cache-coherence state from §4.2:
+// per-object version stamps with object callbacks, and per-volume version
+// stamps with volume callbacks. Any update to an object bumps both its own
+// version and its volume's stamp, and breaks the callbacks other clients
+// hold on the object and on the volume.
+//
+// Reintegration (§4.3) is atomic: a chunk of CML records is validated and
+// applied under an all-or-nothing overlay, so a failure — conflict, crash,
+// or network loss — leaves no server state that would hinder a retry.
+// Large files arrive ahead of reintegration as resumable fragments
+// (§4.3.5); the server assembles them and only then lets the Reintegrate
+// that references them proceed, the reverse of the strong-connectivity
+// ordering, exactly as the paper argues.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codafs"
+	"repro/internal/netmon"
+	"repro/internal/netsim"
+	"repro/internal/rpc2"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+// Server is one Coda file server.
+type Server struct {
+	clock simtime.Clock
+	node  *rpc2.Node
+
+	mu        sync.Mutex
+	volumes   map[codafs.VolumeID]*volume
+	byName    map[string]codafs.VolumeID
+	nextVolID codafs.VolumeID
+	clients   map[string]bool
+	frags     map[fragKey]*fragBuf
+	stats     Stats
+
+	breaksSent atomic.Int64 // outside mu: bumped while breaks dispatch
+}
+
+// Stats counts server activity, for tests and experiments.
+type Stats struct {
+	Calls              int64
+	Reintegrations     int64
+	ReintegrationFails int64
+	RecordsApplied     int64
+	Conflicts          int64
+	BreaksSent         int64
+}
+
+type volume struct {
+	info      codafs.VolumeInfo
+	root      codafs.FID
+	objects   map[codafs.FID]*codafs.Object
+	nextVnode uint64
+
+	// lastAuthor remembers which client produced each object's current
+	// version; a reintegrating client is not in conflict with its own
+	// earlier chunks (the storeid rule).
+	lastAuthor map[codafs.FID]string
+
+	objCallbacks map[codafs.FID]map[string]bool
+	volCallbacks map[string]bool
+}
+
+type fragKey struct {
+	client   string
+	transfer uint64
+}
+
+type fragBuf struct {
+	total int64
+	data  []byte
+}
+
+// New creates a server listening on conn.
+func New(clock simtime.Clock, conn netsim.PacketConn) *Server {
+	s := &Server{
+		clock:   clock,
+		volumes: make(map[codafs.VolumeID]*volume),
+		byName:  make(map[string]codafs.VolumeID),
+		clients: make(map[string]bool),
+		frags:   make(map[fragKey]*fragBuf),
+	}
+	s.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), s.handle)
+	return s
+}
+
+// Addr returns the server's network address.
+func (s *Server) Addr() string { return s.node.Addr() }
+
+// Node exposes the server's RPC node (for tests).
+func (s *Server) Node() *rpc2.Node { return s.node }
+
+// Stats returns a snapshot of activity counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.BreaksSent = s.breaksSent.Load()
+	return st
+}
+
+// Close shuts the server down.
+func (s *Server) Close() { s.node.Close() }
+
+// ---- Administrative (non-RPC) interface ----
+
+// CreateVolume creates an empty volume with a root directory.
+func (s *Server) CreateVolume(name string) (codafs.VolumeInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byName[name]; dup {
+		return codafs.VolumeInfo{}, fmt.Errorf("server: volume %q exists", name)
+	}
+	s.nextVolID++
+	id := s.nextVolID
+	v := &volume{
+		info:         codafs.VolumeInfo{ID: id, Name: name, Stamp: 1},
+		nextVnode:    1,
+		objects:      make(map[codafs.FID]*codafs.Object),
+		lastAuthor:   make(map[codafs.FID]string),
+		objCallbacks: make(map[codafs.FID]map[string]bool),
+		volCallbacks: make(map[string]bool),
+	}
+	root := codafs.FID{Volume: id, Vnode: 1, Unique: 1}
+	v.root = root
+	v.objects[root] = &codafs.Object{
+		Status: codafs.Status{
+			FID: root, Type: codafs.Directory, Version: 1,
+			ModTime: s.clock.Now(), Mode: 0755, Owner: "root",
+		},
+		Children: make(map[string]codafs.FID),
+	}
+	s.volumes[id] = v
+	s.byName[name] = id
+	return v.info, nil
+}
+
+// WriteFile creates or replaces a file at relPath inside the named volume,
+// creating intermediate directories. It acts as an anonymous co-located
+// client: versions are bumped and callbacks broken, which is how the
+// experiments inject "another client updated the volume" events (Fig 9).
+func (s *Server) WriteFile(volName, relPath string, data []byte) (codafs.Status, error) {
+	return s.writeObject(volName, relPath, codafs.File, data, "")
+}
+
+// MakeDir creates a directory (and parents) inside the named volume.
+func (s *Server) MakeDir(volName, relPath string) (codafs.Status, error) {
+	return s.writeObject(volName, relPath, codafs.Directory, nil, "")
+}
+
+// MakeSymlink creates a symlink at relPath pointing at target.
+func (s *Server) MakeSymlink(volName, relPath, target string) (codafs.Status, error) {
+	return s.writeObject(volName, relPath, codafs.Symlink, nil, target)
+}
+
+// Resolve walks relPath within the named volume and returns the object's
+// status. An empty relPath names the volume root.
+func (s *Server) Resolve(volName, relPath string) (codafs.Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, fid, err := s.walkLocked(volName, relPath)
+	if err != nil {
+		return codafs.Status{}, err
+	}
+	o := v.objects[fid]
+	if o == nil {
+		return codafs.Status{}, fmt.Errorf("server: dangling entry %s/%s", volName, relPath)
+	}
+	return o.Status, nil
+}
+
+// ReadFile returns a file's contents, server-side.
+func (s *Server) ReadFile(volName, relPath string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, fid, err := s.walkLocked(volName, relPath)
+	if err != nil {
+		return nil, err
+	}
+	o := v.objects[fid]
+	if o == nil {
+		return nil, fmt.Errorf("server: dangling entry %s/%s", volName, relPath)
+	}
+	if o.Status.Type != codafs.File {
+		return nil, fmt.Errorf("server: %s/%s is a %s", volName, relPath, o.Status.Type)
+	}
+	return append([]byte(nil), o.Data...), nil
+}
+
+// VolumeStamp returns the named volume's current stamp.
+func (s *Server) VolumeStamp(volName string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byName[volName]
+	if !ok {
+		return 0, fmt.Errorf("server: no volume %q", volName)
+	}
+	return s.volumes[id].info.Stamp, nil
+}
+
+func (s *Server) writeObject(volName, relPath string, typ codafs.ObjType, data []byte, target string) (codafs.Status, error) {
+	vol, comps, err := s.splitAdminPath(volName, relPath)
+	if err != nil {
+		return codafs.Status{}, err
+	}
+	s.mu.Lock()
+	v := vol
+	dir := v.root
+	var breaks []breakWork
+	for i, c := range comps {
+		last := i == len(comps)-1
+		parent := v.objects[dir]
+		child, exists := parent.Children[c]
+		if last {
+			if typ == codafs.File && exists {
+				o := v.objects[child]
+				if o.Status.Type != codafs.File {
+					s.mu.Unlock()
+					return codafs.Status{}, fmt.Errorf("server: %s exists and is a %s", c, o.Status.Type)
+				}
+				o.Data = append([]byte(nil), data...)
+				o.Status.Length = int64(len(data))
+				o.Status.ModTime = s.clock.Now()
+				s.bumpLocked(v, child, "")
+				breaks = append(breaks, s.collectBreaksLocked(v, child, ""))
+				st := o.Status
+				s.mu.Unlock()
+				s.dispatchBreaks(breaks)
+				return st, nil
+			}
+			if exists {
+				s.mu.Unlock()
+				return codafs.Status{}, fmt.Errorf("server: %s already exists", c)
+			}
+			fid := s.allocFIDLocked(v)
+			o := &codafs.Object{
+				Status: codafs.Status{
+					FID: fid, Type: typ, Length: int64(len(data)),
+					ModTime: s.clock.Now(), Mode: 0644, Owner: "root", Links: 1,
+				},
+				Target: target,
+			}
+			if typ == codafs.File {
+				o.Data = append([]byte(nil), data...)
+			}
+			if typ == codafs.Directory {
+				o.Children = make(map[string]codafs.FID)
+				o.Status.Mode = 0755
+			}
+			v.objects[fid] = o
+			parent.Children[c] = fid
+			refreshDirLen(parent)
+			parent.Status.ModTime = s.clock.Now()
+			s.bumpLocked(v, fid, "")
+			s.bumpLocked(v, parent.Status.FID, "")
+			breaks = append(breaks,
+				s.collectBreaksLocked(v, fid, ""),
+				s.collectBreaksLocked(v, parent.Status.FID, ""))
+			st := o.Status
+			s.mu.Unlock()
+			s.dispatchBreaks(breaks)
+			return st, nil
+		}
+		if !exists {
+			fid := s.allocFIDLocked(v)
+			v.objects[fid] = &codafs.Object{
+				Status: codafs.Status{
+					FID: fid, Type: codafs.Directory,
+					ModTime: s.clock.Now(), Mode: 0755, Owner: "root",
+				},
+				Children: make(map[string]codafs.FID),
+			}
+			parent.Children[c] = fid
+			refreshDirLen(parent)
+			s.bumpLocked(v, fid, "")
+			s.bumpLocked(v, parent.Status.FID, "")
+			child = fid
+		} else if v.objects[child].Status.Type != codafs.Directory {
+			s.mu.Unlock()
+			return codafs.Status{}, fmt.Errorf("server: %s is not a directory", c)
+		}
+		dir = child
+	}
+	s.mu.Unlock()
+	return codafs.Status{}, fmt.Errorf("server: empty path")
+}
+
+func (s *Server) splitAdminPath(volName, relPath string) (*volume, []string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byName[volName]
+	if !ok {
+		return nil, nil, fmt.Errorf("server: no volume %q", volName)
+	}
+	_, comps, err := codafs.SplitPath(codafs.JoinPath(volName, relPath))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(comps) == 0 {
+		return nil, nil, fmt.Errorf("server: path names the volume root")
+	}
+	return s.volumes[id], comps, nil
+}
+
+func (s *Server) walkLocked(volName, relPath string) (*volume, codafs.FID, error) {
+	id, ok := s.byName[volName]
+	if !ok {
+		return nil, codafs.FID{}, fmt.Errorf("server: no volume %q", volName)
+	}
+	v := s.volumes[id]
+	_, comps, err := codafs.SplitPath(codafs.JoinPath(volName, relPath))
+	if err != nil {
+		return nil, codafs.FID{}, err
+	}
+	fid := v.root
+	for _, c := range comps {
+		o := v.objects[fid]
+		if o == nil {
+			return nil, codafs.FID{}, fmt.Errorf("server: dangling entry at %s", c)
+		}
+		if o.Status.Type != codafs.Directory {
+			return nil, codafs.FID{}, fmt.Errorf("server: %s is not a directory", c)
+		}
+		child, ok := o.Children[c]
+		if !ok {
+			return nil, codafs.FID{}, fmt.Errorf("server: %s not found", c)
+		}
+		fid = child
+	}
+	return v, fid, nil
+}
+
+func (s *Server) allocFIDLocked(v *volume) codafs.FID {
+	v.nextVnode++
+	return codafs.FID{Volume: v.info.ID, Vnode: v.nextVnode, Unique: v.nextVnode}
+}
+
+// bumpLocked advances the volume stamp and sets the object's version to it.
+func (s *Server) bumpLocked(v *volume, fid codafs.FID, author string) {
+	v.info.Stamp++
+	if o, ok := v.objects[fid]; ok {
+		o.Status.Version = v.info.Stamp
+	}
+	if author != "" {
+		v.lastAuthor[fid] = author
+	} else {
+		delete(v.lastAuthor, fid)
+	}
+}
+
+// breakWork is a set of clients to notify about one invalidation.
+type breakWork struct {
+	fid     codafs.FID
+	volID   codafs.VolumeID
+	objTo   []string
+	volTo   []string
+	hasWork bool
+}
+
+// collectBreaksLocked gathers and clears the callback registrations that an
+// update to fid invalidates, excluding the updating client.
+func (s *Server) collectBreaksLocked(v *volume, fid codafs.FID, updater string) breakWork {
+	w := breakWork{fid: fid, volID: v.info.ID}
+	if cbs := v.objCallbacks[fid]; cbs != nil {
+		for c := range cbs {
+			if c != updater {
+				w.objTo = append(w.objTo, c)
+				delete(cbs, c)
+				w.hasWork = true
+			}
+		}
+	}
+	for c := range v.volCallbacks {
+		if c != updater {
+			w.volTo = append(w.volTo, c)
+			delete(v.volCallbacks, c)
+			w.hasWork = true
+		}
+	}
+	return w
+}
+
+// dispatchBreaks delivers callback breaks asynchronously; a client updating
+// an object never waits on other clients' notifications (first design
+// principle: don't punish strongly-connected clients).
+func (s *Server) dispatchBreaks(work []breakWork) {
+	// Coalesce per destination client.
+	type agg struct {
+		fids map[codafs.FID]bool
+		vols map[codafs.VolumeID]bool
+	}
+	byClient := make(map[string]*agg)
+	get := func(c string) *agg {
+		a := byClient[c]
+		if a == nil {
+			a = &agg{fids: make(map[codafs.FID]bool), vols: make(map[codafs.VolumeID]bool)}
+			byClient[c] = a
+		}
+		return a
+	}
+	for _, w := range work {
+		if !w.hasWork {
+			continue
+		}
+		for _, c := range w.objTo {
+			get(c).fids[w.fid] = true
+		}
+		for _, c := range w.volTo {
+			get(c).vols[w.volID] = true
+		}
+	}
+	for client, a := range byClient {
+		brk := wire.CallbackBreak{}
+		for f := range a.fids {
+			brk.FIDs = append(brk.FIDs, f)
+		}
+		for v := range a.vols {
+			brk.Volumes = append(brk.Volumes, v)
+		}
+		client := client
+		s.breaksSent.Add(1)
+		s.clock.Go(func() {
+			// Best effort: an unreachable client revalidates later.
+			_, _ = wire.Call[wire.CallbackBreakRep](s.node, client, brk, rpc2.CallOpts{MaxRetries: 2})
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package sftp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+// TestTransferSurvivesTransientOutage: a link outage in the middle of a
+// transfer must stall it, not kill it; the exponential backoff spans the
+// outage and the transfer completes after reconnection.
+func TestTransferSurvivesTransientOutage(t *testing.T) {
+	s := simtime.NewSim(simtime.Epoch1995)
+	net := netsim.New(s, 9)
+	net.SetDefaults(netsim.ISDN.Params())
+	s.Run(func() {
+		a, b := newPair(s, net)
+		data := bytes.Repeat([]byte("outage"), 30_000) // 180 KB ≈ 23 s at ISDN
+
+		// Sever the link 5 seconds in, restore it 40 seconds later.
+		s.AfterFunc(5*time.Second, func() { net.SetUp("a", "b", false) })
+		s.AfterFunc(45*time.Second, func() { net.SetUp("a", "b", true) })
+
+		done := simtime.NewQueue[error](s)
+		start := s.Now()
+		s.Go(func() { done.Put(a.engine.Send("b", 1, data)) })
+		got, err := b.engine.Await("a", 1, time.Hour)
+		if err != nil {
+			t.Fatalf("Await: %v", err)
+		}
+		if sendErr, _ := done.Get(); sendErr != nil {
+			t.Fatalf("Send: %v", sendErr)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("payload corrupted across outage")
+		}
+		elapsed := s.Now().Sub(start)
+		if elapsed < 45*time.Second {
+			t.Errorf("finished in %v, before the outage ended?", elapsed)
+		}
+	})
+}
+
+// TestBandwidthChangeMidTransfer: the link drops from WaveLan to modem
+// partway through; the serialization-aware timeouts must adapt rather than
+// declaring the peer dead.
+func TestBandwidthChangeMidTransfer(t *testing.T) {
+	s := simtime.NewSim(simtime.Epoch1995)
+	net := netsim.New(s, 10)
+	net.SetDefaults(netsim.WaveLan.Params())
+	s.Run(func() {
+		a, b := newPair(s, net)
+		data := bytes.Repeat([]byte("shift"), 24_000) // 120 KB
+		s.AfterFunc(200*time.Millisecond, func() {
+			net.SetLink("a", "b", netsim.Modem.Params())
+		})
+		done := simtime.NewQueue[error](s)
+		s.Go(func() { done.Put(a.engine.Send("b", 1, data)) })
+		got, err := b.engine.Await("a", 1, 2*time.Hour)
+		if err != nil {
+			t.Fatalf("Await: %v", err)
+		}
+		if sendErr, _ := done.Get(); sendErr != nil {
+			t.Fatalf("Send: %v", sendErr)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("payload corrupted across bandwidth change")
+		}
+	})
+}

@@ -1,0 +1,415 @@
+// Package sftp implements the windowed bulk-transfer protocol that ships
+// file contents for RPC2, modeled on Coda's SFTP (§4.1).
+//
+// A transfer moves one byte slice from sender to receiver as a stream of
+// data packets under a selective-repeat sliding window. Acknowledgements
+// carry a cumulative count plus a bitmap, so a single lost packet costs one
+// retransmission rather than a window. Retransmission timeouts come from
+// the shared per-peer netmon estimator, and every packet in either
+// direction refreshes the peer's liveness — this is the keepalive
+// unification the paper describes (SFTP traffic suppresses RPC2 and Venus
+// keepalives).
+//
+// The Engine does not own a socket: its owner (rpc2.Node) passes a send
+// function and routes incoming SFTP packets to Deliver. Both directions of
+// both protocols therefore share one datagram endpoint, as in Coda.
+package sftp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netmon"
+	"repro/internal/simtime"
+)
+
+// Protocol constants.
+const (
+	// DataPacketSize is the payload carried by one data packet.
+	DataPacketSize = 1200
+	// WindowPackets is the sender's maximum number of unacked packets.
+	WindowPackets = 64
+	// maxConsecutiveTimeouts aborts a transfer wedged on a dead link.
+	maxConsecutiveTimeouts = 10
+)
+
+// Packet type tags (first byte of an SFTP payload).
+const (
+	tagData = 0x01
+	tagAck  = 0x02
+)
+
+// ErrTransferFailed reports a transfer abandoned after repeated timeouts.
+var ErrTransferFailed = errors.New("sftp: transfer failed (peer unreachable)")
+
+// ErrAwaitTimeout reports that an expected incoming transfer never
+// completed within the deadline.
+var ErrAwaitTimeout = errors.New("sftp: timed out awaiting transfer")
+
+type key struct {
+	peer string
+	id   uint64
+}
+
+// Engine manages all SFTP transfers for one node.
+type Engine struct {
+	clock simtime.Clock
+	send  func(dst string, payload []byte) error
+	mon   *netmon.Monitor
+
+	mu        sync.Mutex
+	senders   map[key]*simtime.Queue[ackInfo]
+	incoming  map[key]*inTransfer
+	done      map[key]*simtime.Queue[[]byte]
+	completed map[key]uint32 // packet counts of finished transfers, for re-acking
+	order     []key          // FIFO bound on completed
+}
+
+type ackInfo struct {
+	cum    uint32
+	bitmap uint64
+}
+
+type inTransfer struct {
+	total      uint32
+	totalBytes uint64
+	got        map[uint32][]byte
+}
+
+// NewEngine returns an Engine sending through send and accounting against
+// mon.
+func NewEngine(clock simtime.Clock, mon *netmon.Monitor, send func(dst string, payload []byte) error) *Engine {
+	return &Engine{
+		clock:     clock,
+		send:      send,
+		mon:       mon,
+		senders:   make(map[key]*simtime.Queue[ackInfo]),
+		incoming:  make(map[key]*inTransfer),
+		done:      make(map[key]*simtime.Queue[[]byte]),
+		completed: make(map[key]uint32),
+	}
+}
+
+// Send transfers data to dst under transfer id, blocking until the receiver
+// has acknowledged every packet or the transfer is abandoned. On success it
+// feeds a throughput sample to the peer's bandwidth estimator.
+func (e *Engine) Send(dst string, id uint64, data []byte) error {
+	peer := e.mon.Peer(dst)
+	total := uint32((len(data) + DataPacketSize - 1) / DataPacketSize)
+	if total == 0 {
+		total = 1 // zero-length transfers still need one (empty) packet
+	}
+
+	k := key{dst, id}
+	acks := simtime.NewQueue[ackInfo](e.clock)
+	e.mu.Lock()
+	e.senders[k] = acks
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.senders, k)
+		e.mu.Unlock()
+	}()
+
+	start := e.clock.Now()
+	acked := make([]bool, total)
+	base := uint32(0) // all packets < base are acked
+	sent := uint32(0) // highest packet index ever sent + 1
+	timeouts := 0
+
+	// Single-timer RTT sampling (as in TCP): time one fresh packet at a
+	// time; abandon the measurement if it is retransmitted (Karn).
+	var timedSeq int64 = -1
+	var timedAt time.Time
+
+	xmit := func(i uint32) {
+		lo := int(i) * DataPacketSize
+		hi := lo + DataPacketSize
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		e.send(dst, encodeData(id, i, total, uint64(len(data)), data[lo:hi]))
+	}
+	xmitFresh := func(i uint32) {
+		xmit(i)
+		if timedSeq < 0 {
+			timedSeq = int64(i)
+			timedAt = e.clock.Now()
+		}
+	}
+	xmitRetx := func(i uint32) {
+		xmit(i)
+		if timedSeq >= 0 && int64(i) <= timedSeq {
+			timedSeq = -1
+		}
+	}
+
+	// Fill the initial window.
+	for sent < total && sent < base+WindowPackets {
+		xmitFresh(sent)
+		sent++
+	}
+
+	// ackWait allows for the serialization time of everything in flight
+	// at the estimated path bandwidth on top of the round-trip RTO; with
+	// a window larger than the bandwidth-delay product (always true on a
+	// modem), ack spacing is serialization-limited, not RTT-limited.
+	ackWait := func(extra time.Duration) time.Duration {
+		wait := peer.RTO() + extra
+		if bw := peer.Bandwidth(); bw > 0 {
+			var inflight int64
+			for i := base; i < sent; i++ {
+				if !acked[i] {
+					inflight += DataPacketSize
+				}
+			}
+			wait += time.Duration(inflight * 8 * int64(time.Second) / bw)
+		}
+		return wait
+	}
+
+	var backoff time.Duration
+	lastRetx := make(map[uint32]time.Time) // dedup fast retransmissions per hole
+	for base < total {
+		ack, ok := acks.GetTimeout(ackWait(backoff))
+		if !ok {
+			// Timeout: retransmit everything still outstanding (a small
+			// set — fast retransmit handles mid-window holes, so this
+			// path is mostly tail losses) and back off.
+			timeouts++
+			if timeouts >= maxConsecutiveTimeouts {
+				return fmt.Errorf("%w: %s transfer %d at packet %d/%d",
+					ErrTransferFailed, dst, id, base, total)
+			}
+			for i := base; i < sent; i++ {
+				if !acked[i] {
+					xmitRetx(i)
+				}
+			}
+			if backoff == 0 {
+				backoff = peer.RTO()
+			} else {
+				backoff *= 2
+			}
+			if backoff > netmon.MaxRTO {
+				backoff = netmon.MaxRTO
+			}
+			continue
+		}
+		timeouts = 0
+		backoff = 0
+
+		for i := uint32(0); i < ack.cum && i < total; i++ {
+			acked[i] = true
+		}
+		for b := 0; b < 64; b++ {
+			if ack.bitmap&(1<<b) != 0 {
+				if i := ack.cum + uint32(b); i < total {
+					acked[i] = true
+				}
+			}
+		}
+		if timedSeq >= 0 && acked[timedSeq] {
+			peer.ObserveRTT(e.clock.Now().Sub(timedAt))
+			timedSeq = -1
+		}
+		maxAcked := int64(-1)
+		for i := int64(sent) - 1; i >= int64(base); i-- {
+			if acked[i] {
+				maxAcked = i
+				break
+			}
+		}
+		for base < total && acked[base] {
+			base++
+		}
+		// Send any packets newly admitted to the window; selectively
+		// retransmit every hole below the highest acked packet (their
+		// successors arrived, so they are presumed lost), at most once
+		// per hole per timeout interval.
+		for sent < total && sent < base+WindowPackets {
+			xmitFresh(sent)
+			sent++
+		}
+		now := e.clock.Now()
+		rto := peer.RTO()
+		for i := int64(base); i < maxAcked; i++ {
+			if acked[i] {
+				continue
+			}
+			if last, seen := lastRetx[uint32(i)]; !seen || now.Sub(last) > rto {
+				xmitRetx(uint32(i))
+				lastRetx[uint32(i)] = now
+			}
+		}
+	}
+
+	peer.ObserveTransfer(int64(len(data)), e.clock.Now().Sub(start))
+	return nil
+}
+
+// Await blocks until the transfer (src, id) completes and returns its
+// contents. Each completed transfer can be taken exactly once.
+func (e *Engine) Await(src string, id uint64, timeout time.Duration) ([]byte, error) {
+	k := key{src, id}
+	e.mu.Lock()
+	q, ok := e.done[k]
+	if !ok {
+		q = simtime.NewQueue[[]byte](e.clock)
+		e.done[k] = q
+	}
+	e.mu.Unlock()
+
+	data, ok := q.GetTimeout(timeout)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s transfer %d", ErrAwaitTimeout, src, id)
+	}
+	e.mu.Lock()
+	delete(e.done, k)
+	e.mu.Unlock()
+	return data, nil
+}
+
+// Deliver routes one incoming SFTP payload from src into the engine. The
+// owning node calls it from its demultiplex loop.
+func (e *Engine) Deliver(src string, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	e.mon.Peer(src).Heard()
+	switch payload[0] {
+	case tagData:
+		e.deliverData(src, payload)
+	case tagAck:
+		e.deliverAck(src, payload)
+	}
+}
+
+func (e *Engine) deliverData(src string, payload []byte) {
+	id, seq, total, totalBytes, data, ok := decodeData(payload)
+	if !ok {
+		return
+	}
+	k := key{src, id}
+
+	e.mu.Lock()
+	if doneTotal, finished := e.completed[k]; finished {
+		// The sender missed our final ack; re-ack so it can finish.
+		e.mu.Unlock()
+		e.send(src, encodeAck(id, doneTotal, 0))
+		return
+	}
+	t, ok := e.incoming[k]
+	if !ok {
+		t = &inTransfer{total: total, totalBytes: totalBytes, got: make(map[uint32][]byte)}
+		e.incoming[k] = t
+	}
+	if _, dup := t.got[seq]; !dup && seq < t.total {
+		t.got[seq] = append([]byte(nil), data...)
+	}
+
+	cum := uint32(0)
+	for {
+		if _, have := t.got[cum]; !have {
+			break
+		}
+		cum++
+	}
+	var bitmap uint64
+	for b := uint32(0); b < 64; b++ {
+		if _, have := t.got[cum+b]; have {
+			bitmap |= 1 << b
+		}
+	}
+
+	complete := cum >= t.total
+	var assembled []byte
+	if complete {
+		assembled = make([]byte, 0, t.totalBytes)
+		for i := uint32(0); i < t.total; i++ {
+			assembled = append(assembled, t.got[i]...)
+		}
+		delete(e.incoming, k)
+		e.completed[k] = t.total
+		e.order = append(e.order, k)
+		if len(e.order) > 256 {
+			delete(e.completed, e.order[0])
+			e.order = e.order[1:]
+		}
+		q, ok := e.done[k]
+		if !ok {
+			q = simtime.NewQueue[[]byte](e.clock)
+			e.done[k] = q
+		}
+		e.mu.Unlock()
+		e.send(src, encodeAck(id, cum, bitmap))
+		q.Put(assembled)
+		return
+	}
+	e.mu.Unlock()
+	e.send(src, encodeAck(id, cum, bitmap))
+}
+
+func (e *Engine) deliverAck(src string, payload []byte) {
+	id, cum, bitmap, ok := decodeAck(payload)
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	q := e.senders[key{src, id}]
+	e.mu.Unlock()
+	if q != nil {
+		q.Put(ackInfo{cum: cum, bitmap: bitmap})
+	}
+}
+
+// Data packet: tag(1) id(8) seq(4) total(4) totalBytes(8) len(2) data.
+func encodeData(id uint64, seq, total uint32, totalBytes uint64, data []byte) []byte {
+	buf := make([]byte, 27+len(data))
+	buf[0] = tagData
+	binary.BigEndian.PutUint64(buf[1:], id)
+	binary.BigEndian.PutUint32(buf[9:], seq)
+	binary.BigEndian.PutUint32(buf[13:], total)
+	binary.BigEndian.PutUint64(buf[17:], totalBytes)
+	binary.BigEndian.PutUint16(buf[25:], uint16(len(data)))
+	copy(buf[27:], data)
+	return buf
+}
+
+func decodeData(p []byte) (id uint64, seq, total uint32, totalBytes uint64, data []byte, ok bool) {
+	if len(p) < 27 {
+		return 0, 0, 0, 0, nil, false
+	}
+	id = binary.BigEndian.Uint64(p[1:])
+	seq = binary.BigEndian.Uint32(p[9:])
+	total = binary.BigEndian.Uint32(p[13:])
+	totalBytes = binary.BigEndian.Uint64(p[17:])
+	n := int(binary.BigEndian.Uint16(p[25:]))
+	if len(p) < 27+n {
+		return 0, 0, 0, 0, nil, false
+	}
+	return id, seq, total, totalBytes, p[27 : 27+n], true
+}
+
+// Ack packet: tag(1) id(8) cum(4) bitmap(8).
+func encodeAck(id uint64, cum uint32, bitmap uint64) []byte {
+	buf := make([]byte, 21)
+	buf[0] = tagAck
+	binary.BigEndian.PutUint64(buf[1:], id)
+	binary.BigEndian.PutUint32(buf[9:], cum)
+	binary.BigEndian.PutUint64(buf[13:], bitmap)
+	return buf
+}
+
+func decodeAck(p []byte) (id uint64, cum uint32, bitmap uint64, ok bool) {
+	if len(p) < 21 {
+		return 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint64(p[1:]), binary.BigEndian.Uint32(p[9:]), binary.BigEndian.Uint64(p[13:]), true
+}

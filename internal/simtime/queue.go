@@ -1,0 +1,238 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Queue is an unbounded FIFO whose Get blocks through the owning clock.
+// Put never blocks, which is what makes quiescence detection under Sim
+// exact: only consumers park, and a parked consumer is genuinely waiting
+// for either a producer (itself tracked) or a timer.
+//
+// A Queue constructed over a Sim participates in virtual time: a goroutine
+// parked in Get counts as quiescent, and GetTimeout deadlines are virtual.
+// Over a Real clock it behaves like an ordinary unbounded channel.
+type Queue[T any] struct {
+	s *Sim // nil when running on a Real clock
+
+	mu      sync.Mutex // guards the fields below in Real mode; s.mu in Sim mode
+	items   []T
+	waiters []*qwaiter
+	closed  bool
+}
+
+// qwaiter represents one goroutine parked in Get/GetTimeout.
+type qwaiter struct {
+	ch       chan struct{}
+	woken    bool
+	timedOut bool
+}
+
+// NewQueue returns a Queue bound to c.
+func NewQueue[T any](c Clock) *Queue[T] {
+	q := &Queue[T]{}
+	if s, ok := c.(*Sim); ok {
+		q.s = s
+	}
+	return q
+}
+
+func (q *Queue[T]) lock() {
+	if q.s != nil {
+		q.s.mu.Lock()
+	} else {
+		q.mu.Lock()
+	}
+}
+
+func (q *Queue[T]) unlock() {
+	if q.s != nil {
+		q.s.mu.Unlock()
+	} else {
+		q.mu.Unlock()
+	}
+}
+
+// Put appends v and wakes one waiting consumer, if any. Put on a closed
+// queue is a no-op (the item is dropped), so racing producers need not
+// coordinate with Close.
+func (q *Queue[T]) Put(v T) {
+	q.lock()
+	defer q.unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, v)
+	q.wakeOneLocked(false)
+}
+
+// Get removes and returns the oldest item, blocking until one is available.
+// It returns ok=false once the queue is closed and drained.
+func (q *Queue[T]) Get() (T, bool) {
+	return q.get(false, 0)
+}
+
+// GetTimeout is Get with a deadline d on the owning clock. On timeout it
+// returns ok=false with the zero value.
+func (q *Queue[T]) GetTimeout(d time.Duration) (T, bool) {
+	return q.get(true, d)
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	q.lock()
+	defer q.unlock()
+	return q.popLocked()
+}
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int {
+	q.lock()
+	defer q.unlock()
+	return len(q.items)
+}
+
+// Close wakes all waiters and makes future Gets fail once drained.
+func (q *Queue[T]) Close() {
+	q.lock()
+	defer q.unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for len(q.waiters) > 0 {
+		q.wakeOneLocked(false)
+	}
+}
+
+func (q *Queue[T]) popLocked() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero // release for GC
+	q.items = q.items[1:]
+	return v, true
+}
+
+// wakeOneLocked pops the oldest waiter and marks it runnable.
+func (q *Queue[T]) wakeOneLocked(timedOut bool) {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		w.timedOut = timedOut
+		if q.s != nil {
+			q.s.unparkLocked()
+		}
+		close(w.ch)
+		return
+	}
+}
+
+func (q *Queue[T]) get(timed bool, d time.Duration) (T, bool) {
+	var zero T
+	deadlineSet := false
+	var deadline time.Time
+
+	for {
+		q.lock()
+		if v, ok := q.popLocked(); ok {
+			q.unlock()
+			return v, true
+		}
+		if q.closed {
+			q.unlock()
+			return zero, false
+		}
+		if timed {
+			// Compute the remaining budget under the lock so the
+			// first pass anchors the deadline to a consistent now.
+			now := q.nowLocked()
+			if !deadlineSet {
+				deadline = now.Add(d)
+				deadlineSet = true
+			}
+			if !now.Before(deadline) {
+				q.unlock()
+				return zero, false
+			}
+		}
+
+		w := &qwaiter{ch: make(chan struct{})}
+		q.waiters = append(q.waiters, w)
+
+		var cancel func() bool
+		if timed {
+			cancel = q.armTimeoutLocked(w, deadline)
+		}
+
+		if q.s != nil {
+			// Sim: park while still holding s.mu, then release and
+			// block. The park may advance time and even fire our own
+			// wakeup before we reach the receive; that is fine.
+			q.s.parkLocked()
+			q.s.mu.Unlock()
+		} else {
+			q.mu.Unlock()
+		}
+
+		<-w.ch
+
+		// The waker (Put, Close, or the timeout event) already moved us
+		// back to runnable in the Sim accounting and published
+		// w.timedOut before closing w.ch, so it is safe to read here.
+		if cancel != nil && !w.timedOut {
+			cancel()
+		}
+		if w.timedOut {
+			return zero, false
+		}
+		// Woken by Put or Close: loop to claim an item (another
+		// consumer may have taken it first).
+	}
+}
+
+// nowLocked reads the clock's current time; callers hold the queue lock.
+func (q *Queue[T]) nowLocked() time.Time {
+	if q.s != nil {
+		return q.s.now
+	}
+	return time.Now()
+}
+
+// armTimeoutLocked schedules a wakeup for w at deadline and returns a
+// cancel function (callable without the lock).
+func (q *Queue[T]) armTimeoutLocked(w *qwaiter, deadline time.Time) func() bool {
+	if q.s != nil {
+		ev := q.s.scheduleLocked(deadline.Sub(q.s.now), func() {
+			// Runs with s.mu held.
+			if !w.woken {
+				w.woken = true
+				w.timedOut = true
+				q.s.unparkLocked()
+				close(w.ch)
+			}
+		})
+		return func() bool {
+			q.s.mu.Lock()
+			defer q.s.mu.Unlock()
+			return ev.cancelLocked()
+		}
+	}
+	t := time.AfterFunc(time.Until(deadline), func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if !w.woken {
+			w.woken = true
+			w.timedOut = true
+			close(w.ch)
+		}
+	})
+	return t.Stop
+}

@@ -1,0 +1,272 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sim is a discrete-event virtual clock.
+//
+// A Sim tracks goroutines: the one that calls Run, plus any started with Go
+// or AfterFunc. Virtual time advances only when every tracked goroutine is
+// parked inside a simtime primitive (Sleep, Queue.Get, ...). At that moment
+// the earliest pending event fires, waking exactly the goroutines it names,
+// and execution resumes at the event's timestamp. Events at equal timestamps
+// fire in scheduling order (FIFO), which keeps runs reproducible.
+//
+// If every tracked goroutine is parked and no events are pending, the
+// simulation can never progress; Sim panics with a deadlock report.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     int64
+	events  eventHeap
+	running int  // tracked goroutines currently runnable
+	parked  int  // tracked goroutines blocked in a simtime primitive
+	inRun   bool // a Run call is active; time may advance
+}
+
+// NewSim returns a Sim whose clock reads start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Epoch1995 is a convenient simulation start time contemporary with the
+// paper's deployment (mid-1995).
+var Epoch1995 = time.Date(1995, time.July, 1, 9, 0, 0, 0, time.UTC)
+
+// Run executes fn on the virtual clock, tracking the calling goroutine.
+// It returns when fn returns. fn must join (via Queue) any goroutines whose
+// completion it depends on: once Run returns, time stops advancing, so
+// stragglers parked on the clock stay parked. Run calls must not nest, but
+// sequential Run calls on the same Sim continue from the current time.
+func (s *Sim) Run(fn func()) {
+	s.mu.Lock()
+	if s.inRun {
+		s.mu.Unlock()
+		panic("simtime: nested Sim.Run")
+	}
+	s.inRun = true
+	s.running++
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		s.inRun = false
+		s.running--
+		s.mu.Unlock()
+	}()
+	fn()
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock.
+func (s *Sim) Sleep(d time.Duration) {
+	wake := make(chan struct{})
+	s.mu.Lock()
+	s.scheduleLocked(d, func() {
+		s.unparkLocked()
+		close(wake)
+	})
+	s.parkLocked()
+	s.mu.Unlock()
+	<-wake
+}
+
+// AfterFunc implements Clock.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	fire := func() {
+		s.running++
+		go func() {
+			fn()
+			s.goExit()
+		}()
+	}
+	ev := s.scheduleLocked(d, fire)
+	t := &simTimer{s: s, fire: fire, ev: ev}
+	return &Timer{stop: t.Stop, reset: t.Reset}
+}
+
+// Go implements Clock.
+func (s *Sim) Go(fn func()) {
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	go func() {
+		fn()
+		s.goExit()
+	}()
+}
+
+// Pending reports the number of scheduled events, for tests and diagnostics.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.events {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// goExit retires a tracked goroutine started by Go or AfterFunc.
+func (s *Sim) goExit() {
+	s.mu.Lock()
+	s.running--
+	s.maybeAdvanceLocked()
+	s.mu.Unlock()
+}
+
+// scheduleLocked enqueues fire to run at now+d. The returned event can be
+// cancelled until it fires. fire runs with s.mu held and must only touch
+// Sim-internal state (counters, waiter lists, channels); it must not call
+// public Sim or Queue methods.
+func (s *Sim) scheduleLocked(d time.Duration, fire func()) *event {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	ev := &event{when: s.now.Add(d), seq: s.seq, fire: fire}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// parkLocked marks the calling goroutine as blocked and, if it was the last
+// runnable one, advances virtual time. The caller must hold s.mu, must have
+// already registered a wakeup (an event or a queue waiter), and must block
+// on that wakeup after releasing s.mu.
+func (s *Sim) parkLocked() {
+	s.running--
+	s.parked++
+	if s.running < 0 {
+		panic("simtime: park from a goroutine not tracked by this Sim")
+	}
+	s.maybeAdvanceLocked()
+}
+
+// unparkLocked accounts for one parked goroutine becoming runnable. It is
+// called from event fires and queue hand-offs, with s.mu held.
+func (s *Sim) unparkLocked() {
+	s.running++
+	s.parked--
+}
+
+// maybeAdvanceLocked fires events until some goroutine is runnable again.
+func (s *Sim) maybeAdvanceLocked() {
+	if !s.inRun {
+		return // Run has finished; the simulation is frozen.
+	}
+	for s.running == 0 {
+		ev := s.popLocked()
+		if ev == nil {
+			if s.parked > 0 {
+				// Release the lock before panicking so deferred
+				// cleanup (Sim.Run's bookkeeping, test recovery) can
+				// acquire it during unwinding.
+				msg := fmt.Sprintf(
+					"simtime: deadlock at %s: %d goroutine(s) parked with no pending events",
+					s.now.Format(time.RFC3339), s.parked)
+				s.mu.Unlock()
+				panic(msg)
+			}
+			return
+		}
+		if ev.when.After(s.now) {
+			s.now = ev.when
+		}
+		ev.fire()
+	}
+}
+
+// popLocked removes and returns the earliest live event, or nil.
+func (s *Sim) popLocked() *event {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if !ev.stopped {
+			return ev
+		}
+	}
+	return nil
+}
+
+// simTimer implements Timer.Stop/Reset for the Sim clock.
+type simTimer struct {
+	s    *Sim
+	fire func()
+	ev   *event
+}
+
+func (t *simTimer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.ev.cancelLocked()
+}
+
+func (t *simTimer) Reset(d time.Duration) bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	active := t.ev.cancelLocked()
+	t.ev = t.s.scheduleLocked(d, t.fire)
+	return active
+}
+
+// event is a pending occurrence in the simulation.
+type event struct {
+	when    time.Time
+	seq     int64
+	fire    func()
+	stopped bool
+	index   int // heap index; -1 once popped
+}
+
+// cancelLocked marks the event dead. It reports whether it was still pending.
+func (ev *event) cancelLocked() bool {
+	if ev.stopped || ev.index < 0 {
+		return false
+	}
+	ev.stopped = true
+	return true
+}
+
+// eventHeap orders events by (when, seq); seq breaks ties FIFO.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

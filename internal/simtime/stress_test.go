@@ -1,0 +1,139 @@
+package simtime
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMixedPrimitiveStress runs a randomized tangle of sleepers, timers,
+// queues, and spawned goroutines, checking that (a) virtual time only moves
+// forward, (b) every message is delivered exactly once, and (c) the final
+// time equals the furthest scheduled event that fired.
+func TestMixedPrimitiveStress(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim(Epoch1995)
+		var delivered atomic.Int64
+		var sent atomic.Int64
+		var monotonic atomic.Bool
+		monotonic.Store(true)
+
+		s.Run(func() {
+			q := NewQueue[int](s)
+			done := NewQueue[struct{}](s)
+			workers := 8
+
+			// Producers: sleep random amounts, push, occasionally spawn a
+			// timer that pushes too.
+			for w := 0; w < workers; w++ {
+				delay := time.Duration(rng.Intn(1000)) * time.Millisecond
+				count := 20 + rng.Intn(50)
+				jitter := rng.Int63()
+				s.Go(func() {
+					r := rand.New(rand.NewSource(jitter))
+					last := s.Now()
+					for i := 0; i < count; i++ {
+						s.Sleep(delay + time.Duration(r.Intn(100))*time.Millisecond)
+						now := s.Now()
+						if now.Before(last) {
+							monotonic.Store(false)
+						}
+						last = now
+						q.Put(i)
+						sent.Add(1)
+						if r.Intn(10) == 0 {
+							sent.Add(1)
+							s.AfterFunc(time.Duration(r.Intn(2000))*time.Millisecond, func() {
+								q.Put(-1)
+							})
+						}
+					}
+					done.Put(struct{}{})
+				})
+			}
+
+			// Consumer: drain everything with timeouts mixed in.
+			s.Go(func() {
+				idle := 0
+				for idle < 3 {
+					if _, ok := q.GetTimeout(5 * time.Second); ok {
+						delivered.Add(1)
+						idle = 0
+					} else {
+						idle++
+					}
+				}
+				done.Put(struct{}{})
+			})
+
+			for i := 0; i < workers+1; i++ {
+				done.Get()
+			}
+		})
+
+		if !monotonic.Load() {
+			t.Fatalf("seed %d: time moved backwards", seed)
+		}
+		if delivered.Load() != sent.Load() {
+			t.Fatalf("seed %d: delivered %d of %d messages", seed, delivered.Load(), sent.Load())
+		}
+	}
+}
+
+// TestAfterFuncChains: timers that schedule timers, to a depth bounded by
+// virtual time only.
+func TestAfterFuncChains(t *testing.T) {
+	s := NewSim(Epoch1995)
+	var fired atomic.Int64
+	s.Run(func() {
+		done := NewQueue[struct{}](s)
+		var chain func(depth int)
+		chain = func(depth int) {
+			fired.Add(1)
+			if depth == 0 {
+				done.Put(struct{}{})
+				return
+			}
+			s.AfterFunc(time.Second, func() { chain(depth - 1) })
+		}
+		s.AfterFunc(time.Second, func() { chain(99) })
+		done.Get()
+	})
+	if fired.Load() != 100 {
+		t.Errorf("fired = %d, want 100", fired.Load())
+	}
+	if got := s.Now().Sub(Epoch1995); got != 100*time.Second {
+		t.Errorf("elapsed = %v, want 100s", got)
+	}
+}
+
+// TestGoFromAfterFunc: tracked goroutines spawned from timer callbacks
+// participate in quiescence correctly.
+func TestGoFromAfterFunc(t *testing.T) {
+	s := NewSim(Epoch1995)
+	var total atomic.Int64
+	s.Run(func() {
+		done := NewQueue[struct{}](s)
+		s.AfterFunc(time.Second, func() {
+			for i := 0; i < 5; i++ {
+				i := i
+				s.Go(func() {
+					s.Sleep(time.Duration(i) * time.Second)
+					total.Add(int64(i))
+					done.Put(struct{}{})
+				})
+			}
+		})
+		for i := 0; i < 5; i++ {
+			done.Get()
+		}
+	})
+	if total.Load() != 10 {
+		t.Errorf("total = %d, want 10", total.Load())
+	}
+	if got := s.Now().Sub(Epoch1995); got != 5*time.Second {
+		t.Errorf("elapsed = %v, want 5s (1s timer + 4s longest sleeper)", got)
+	}
+}

@@ -1,0 +1,109 @@
+package tcpsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+)
+
+func runStream(t *testing.T, params netsim.LinkParams, size int, seed int64) time.Duration {
+	t.Helper()
+	s := simtime.NewSim(simtime.Epoch1995)
+	net := netsim.New(s, seed)
+	net.SetDefaults(params)
+	var elapsed time.Duration
+	s.Run(func() {
+		a := net.Host("a")
+		b := net.Host("b")
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i*13 + 7)
+		}
+		done := simtime.NewQueue[error](s)
+		start := s.Now()
+		s.Go(func() { done.Put(Send(s, a, "b", 1, data)) })
+		got, err := Receive(s, b, 1, 2*time.Hour)
+		if err != nil {
+			t.Fatalf("Receive: %v", err)
+		}
+		if sendErr, _ := done.Get(); sendErr != nil {
+			t.Fatalf("Send: %v", sendErr)
+		}
+		elapsed = s.Now().Sub(start)
+		if !bytes.Equal(got, data) {
+			t.Errorf("stream corrupted: %d bytes", len(got))
+		}
+	})
+	return elapsed
+}
+
+func TestStreamSmall(t *testing.T) {
+	runStream(t, netsim.Ethernet.Params(), 100, 1)
+}
+
+func TestStreamZero(t *testing.T) {
+	runStream(t, netsim.Ethernet.Params(), 0, 2)
+}
+
+func TestStreamMegabyteEthernet(t *testing.T) {
+	elapsed := runStream(t, netsim.Ethernet.Params(), 1<<20, 3)
+	// 1 MB at 10 Mb/s is ~0.84 s on the wire; slow start adds round trips.
+	if elapsed > 5*time.Second {
+		t.Errorf("1MB over Ethernet took %v", elapsed)
+	}
+}
+
+func TestStreamModemNearLineRate(t *testing.T) {
+	size := 64 << 10
+	elapsed := runStream(t, netsim.Modem.Params(), size, 4)
+	ideal := time.Duration(float64(size*8) / 9600 * float64(time.Second))
+	if elapsed < ideal {
+		t.Errorf("faster than line rate: %v < %v", elapsed, ideal)
+	}
+	if elapsed > ideal*3/2 {
+		t.Errorf("modem stream %v exceeds 1.5× ideal %v", elapsed, ideal)
+	}
+}
+
+func TestStreamSurvivesLoss(t *testing.T) {
+	p := netsim.WaveLan.Params()
+	p.LossRate = 0.05
+	runStream(t, p, 256<<10, 5)
+}
+
+func TestStreamCongestionOnTightQueue(t *testing.T) {
+	// A queue shorter than the bandwidth-delay product forces drops; Reno
+	// must still complete via fast retransmit / timeouts.
+	p := netsim.WaveLan.Params()
+	p.QueueBytes = 8 << 10
+	runStream(t, p, 128<<10, 6)
+}
+
+func TestSendFailsOnDeadLink(t *testing.T) {
+	s := simtime.NewSim(simtime.Epoch1995)
+	net := netsim.New(s, 7)
+	s.Run(func() {
+		a := net.Host("a")
+		net.Host("b")
+		net.SetUp("a", "b", false)
+		err := Send(s, a, "b", 1, make([]byte, 10_000))
+		if !errors.Is(err, ErrTransferFailed) {
+			t.Errorf("Send over dead link: %v", err)
+		}
+	})
+}
+
+func TestReceiveTimeout(t *testing.T) {
+	s := simtime.NewSim(simtime.Epoch1995)
+	net := netsim.New(s, 8)
+	s.Run(func() {
+		b := net.Host("b")
+		if _, err := Receive(s, b, 9, 5*time.Second); err == nil {
+			t.Error("Receive with no sender succeeded")
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SegmentPreset("Purcell", 0))
+	b := Generate(SegmentPreset("Purcell", 0))
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	c := Generate(SegmentPreset("Purcell", 1))
+	same := len(a.Records) == len(c.Records)
+	if same {
+		identical := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateSpansDuration(t *testing.T) {
+	tr := Generate(SegmentPreset("Holst", 0))
+	d := tr.Duration()
+	if d < 44*time.Minute || d > 46*time.Minute {
+		t.Errorf("duration = %v, want ~45m", d)
+	}
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].T < tr.Records[i-1].T {
+			t.Fatal("records out of temporal order")
+		}
+	}
+}
+
+// The headline calibration test: the four Figure 11 presets must land near
+// the paper's published segment statistics.
+func TestSegmentPresetsMatchFigure11(t *testing.T) {
+	want := map[string]struct {
+		refs, updates   int
+		unoptKB         int
+		compressibility float64
+	}{
+		"Purcell":  {51681, 519, 2864, 0.08},
+		"Holst":    {61019, 596, 3402, 0.32},
+		"Messiaen": {38342, 188, 6996, 0.69},
+		"Concord":  {160397, 1273, 34704, 0.94},
+	}
+	for _, name := range SegmentNames {
+		tr := Generate(SegmentPreset(name, 0))
+		refs, updates := tr.Counts()
+		an := AnalyzeCML(tr, NoAging)
+		w := want[name]
+
+		if ratio := float64(refs) / float64(w.refs); ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: refs = %d, paper %d", name, refs, w.refs)
+		}
+		if ratio := float64(updates) / float64(w.updates); ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("%s: updates = %d, paper %d", name, updates, w.updates)
+		}
+		gotKB := int(an.AppendedBytes / 1024)
+		if ratio := float64(gotKB) / float64(w.unoptKB); ratio < 0.6 || ratio > 1.7 {
+			t.Errorf("%s: unoptimized CML = %d KB, paper %d KB", name, gotKB, w.unoptKB)
+		}
+		if got := an.Compressibility(); math.Abs(got-w.compressibility) > 0.10 {
+			t.Errorf("%s: compressibility = %.2f, paper %.2f", name, got, w.compressibility)
+		}
+		t.Logf("%-9s refs=%6d updates=%5d unopt=%6dKB compress=%4.0f%%",
+			name, refs, updates, gotKB, an.Compressibility()*100)
+	}
+}
+
+// Aging monotonicity: a larger window can only increase savings; the curve
+// is the substance of Figure 4.
+func TestAgingMonotonicity(t *testing.T) {
+	tr := Generate(WeekPreset("holst", 0))
+	prev := int64(-1)
+	for _, a := range []time.Duration{
+		10 * time.Second, 100 * time.Second, 300 * time.Second,
+		600 * time.Second, time.Hour, 4 * time.Hour,
+	} {
+		an := AnalyzeCML(tr, a)
+		if an.SavedBytes < prev {
+			t.Errorf("savings decreased at A=%v: %d < %d", a, an.SavedBytes, prev)
+		}
+		prev = an.SavedBytes
+		// Conservation: everything appended is saved, drained, or left.
+		if an.SavedBytes+an.DrainedBytes+an.FinalBytes != an.AppendedBytes {
+			t.Errorf("A=%v: %d+%d+%d != %d", a, an.SavedBytes, an.DrainedBytes, an.FinalBytes, an.AppendedBytes)
+		}
+	}
+}
+
+// The week presets must spread as in Figure 4: at A=600 s every trace
+// reaches ≥ ~40 % of its 4-hour savings, while at A=300 s the slowest
+// traces are well below the fastest.
+func TestWeekPresetsSpreadLikeFigure4(t *testing.T) {
+	ratioAt := func(name string, a time.Duration) float64 {
+		tr := Generate(WeekPreset(name, 0))
+		base := AnalyzeCML(tr, 4*time.Hour).SavedBytes
+		if base == 0 {
+			t.Fatalf("%s: no savings at 4h", name)
+		}
+		return float64(AnalyzeCML(tr, a).SavedBytes) / float64(base)
+	}
+	lo, hi := 2.0, 0.0
+	for _, name := range WeekNames {
+		r300 := ratioAt(name, 300*time.Second)
+		r600 := ratioAt(name, 600*time.Second)
+		t.Logf("%-9s A=300s: %3.0f%%  A=600s: %3.0f%%", name, r300*100, r600*100)
+		if r600 < 0.35 {
+			t.Errorf("%s: only %.0f%% at A=600s; paper has ~≥50%% on all traces", name, r600*100)
+		}
+		if r300 < lo {
+			lo = r300
+		}
+		if r300 > hi {
+			hi = r300
+		}
+	}
+	if hi-lo < 0.25 {
+		t.Errorf("A=300s spread [%.2f, %.2f] too narrow; Figure 4 shows wide variation", lo, hi)
+	}
+}
+
+func TestSliceRebasing(t *testing.T) {
+	tr := Generate(SegmentPreset("Purcell", 0))
+	mid := tr.Duration() / 2
+	s := tr.Slice(mid, tr.Duration()+1)
+	if len(s.Records) == 0 {
+		t.Fatal("empty slice")
+	}
+	if s.Records[0].T > tr.Duration()/2 {
+		t.Error("slice not rebased")
+	}
+	refsA, _ := tr.Counts()
+	refsB, _ := s.Counts()
+	if refsB >= refsA {
+		t.Error("slice did not shrink")
+	}
+}
+
+func TestAnalyzeTempFilesFullyCancelled(t *testing.T) {
+	tr := &Trace{
+		Volume:   "usr",
+		Manifest: map[string]int{},
+		Records: []Record{
+			{T: 0, Op: OpWrite, Path: "/coda/usr/d/tmp1", Size: 10000},
+			{T: time.Second, Op: OpRemove, Path: "/coda/usr/d/tmp1"},
+		},
+	}
+	an := AnalyzeCML(tr, NoAging)
+	if an.FinalBytes != 0 {
+		t.Errorf("FinalBytes = %d, want 0 (create+store+remove all cancelled)", an.FinalBytes)
+	}
+	if an.SavedBytes != an.AppendedBytes {
+		t.Errorf("saved %d != appended %d", an.SavedBytes, an.AppendedBytes)
+	}
+}
+
+func TestAnalyzeAgingProtectsDrainedRecords(t *testing.T) {
+	// Two writes 10 minutes apart: with a 1-minute window, the first is
+	// drained before the second arrives, so nothing is saved.
+	tr := &Trace{
+		Volume:   "usr",
+		Manifest: map[string]int{"/coda/usr/f": 100},
+		Records: []Record{
+			{T: 0, Op: OpWrite, Path: "/coda/usr/f", Size: 5000},
+			{T: 10 * time.Minute, Op: OpWrite, Path: "/coda/usr/f", Size: 5000},
+		},
+	}
+	if an := AnalyzeCML(tr, time.Minute); an.SavedBytes != 0 {
+		t.Errorf("A=1m: saved %d, want 0", an.SavedBytes)
+	}
+	if an := AnalyzeCML(tr, time.Hour); an.SavedBytes == 0 {
+		t.Error("A=1h: nothing saved, want the first store cancelled")
+	}
+}
+
+func TestOpStringsAndUpdateClass(t *testing.T) {
+	if !OpWrite.IsUpdate() || OpRead.IsUpdate() || OpStat.IsUpdate() {
+		t.Error("IsUpdate misclassifies")
+	}
+	if OpWrite.String() != "write" || OpRead.String() != "read" {
+		t.Error("Op strings wrong")
+	}
+}

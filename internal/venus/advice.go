@@ -1,0 +1,59 @@
+package venus
+
+import "time"
+
+// WalkItem is one object proposed for fetching during the data walk
+// (Figure 6: name, priority, estimated cost, and whether the patience model
+// pre-approved it).
+type WalkItem struct {
+	Path        string
+	Priority    int
+	Size        int64
+	Cost        time.Duration
+	PreApproved bool
+}
+
+// Advisor is the seam through which Venus seeks user advice (§4.4). The
+// paper's Tcl/Tk screens correspond to cmd/codaclient's terminal
+// implementation; tests and unattended operation use programmatic ones.
+type Advisor interface {
+	// ApproveDataWalk is consulted between the status and data walks
+	// while weakly connected. It returns, for each item, whether to
+	// fetch it. Implementations should honor PreApproved items (the
+	// screen in Figure 6 lists them as already approved) but may
+	// suppress any fetch.
+	ApproveDataWalk(items []WalkItem) []bool
+}
+
+// AutoAdvisor approves every fetch — the behaviour when the Figure 6
+// screen times out with no user input ("this handles the case where the
+// client is running unattended").
+type AutoAdvisor struct{}
+
+// ApproveDataWalk implements Advisor.
+func (AutoAdvisor) ApproveDataWalk(items []WalkItem) []bool {
+	out := make([]bool, len(items))
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// PreApprovedOnlyAdvisor fetches only items under the patience threshold —
+// a silent user who clicks nothing but "Done".
+type PreApprovedOnlyAdvisor struct{}
+
+// ApproveDataWalk implements Advisor.
+func (PreApprovedOnlyAdvisor) ApproveDataWalk(items []WalkItem) []bool {
+	out := make([]bool, len(items))
+	for i, it := range items {
+		out[i] = it.PreApproved
+	}
+	return out
+}
+
+// FuncAdvisor adapts a function to the Advisor interface.
+type FuncAdvisor func(items []WalkItem) []bool
+
+// ApproveDataWalk implements Advisor.
+func (f FuncAdvisor) ApproveDataWalk(items []WalkItem) []bool { return f(items) }

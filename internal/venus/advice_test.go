@@ -1,0 +1,190 @@
+package venus_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/venus"
+)
+
+func TestMissRecordsCarryFigure5Context(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{
+		"papers/s15.bib": string(bytes.Repeat([]byte("b"), 800_000)),
+	})
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{PinWriteDisconnected: true})
+		w.setLink("c1", wlModem())
+		mustMount(t, v, "usr")
+		v.Connect(9600)
+
+		// The Figure 5 screen shows "the name of each missing object and
+		// the program that referenced it".
+		v.SetProgram("emacs")
+		if _, err := v.ReadFile("/coda/usr/papers/s15.bib"); !errors.Is(err, venus.ErrCacheMiss) {
+			t.Fatalf("expected deferred miss, got %v", err)
+		}
+		misses := v.Misses()
+		if len(misses) != 1 {
+			t.Fatalf("misses = %d, want 1", len(misses))
+		}
+		m := misses[0]
+		if m.Path != "/coda/usr/papers/s15.bib" {
+			t.Errorf("Path = %q", m.Path)
+		}
+		if m.Program != "emacs" {
+			t.Errorf("Program = %q, want emacs", m.Program)
+		}
+		if m.Size != 800_000 {
+			t.Errorf("Size = %d", m.Size)
+		}
+		if m.Cost <= m.Threshold {
+			t.Errorf("Cost %v ≤ Threshold %v on a deferred miss", m.Cost, m.Threshold)
+		}
+		// Misses() drains.
+		if len(v.Misses()) != 0 {
+			t.Error("miss list not drained")
+		}
+	})
+}
+
+func TestPreApprovedOnlyAdvisor(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{
+		"small.txt": "tiny",
+		"huge.bin":  string(bytes.Repeat([]byte("h"), 2<<20)),
+	})
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{Advisor: venus.PreApprovedOnlyAdvisor{}})
+		w.setLink("c1", wlModem())
+		mustMount(t, v, "usr")
+		v.Connect(9600)
+		v.HoardAdd("/coda/usr/small.txt", 900, false) // tiny: pre-approved
+		v.HoardAdd("/coda/usr/huge.bin", 100, false)  // 2MB at P=100: not
+		if err := v.HoardWalk(); err != nil {
+			t.Fatal(err)
+		}
+		// The silent user fetched only what the model pre-approved.
+		w.net.SetUp("c1", "server", false)
+		v.Disconnect()
+		if _, err := v.ReadFile("/coda/usr/small.txt"); err != nil {
+			t.Errorf("pre-approved file not hoarded: %v", err)
+		}
+		if _, err := v.ReadFile("/coda/usr/huge.bin"); err == nil {
+			t.Error("non-approved file was fetched by a silent user")
+		}
+	})
+}
+
+func TestAutoAdvisorFetchesEverything(t *testing.T) {
+	// "If no input is provided by the user within a certain time, the
+	// screen disappears and all the listed objects are fetched" — the
+	// unattended default.
+	w := newWorld(t)
+	w.seed("usr", map[string]string{
+		"huge.bin": string(bytes.Repeat([]byte("h"), 2<<20)),
+	})
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{}) // AutoAdvisor by default
+		w.setLink("c1", wlModem())
+		mustMount(t, v, "usr")
+		v.Connect(9600)
+		v.HoardAdd("/coda/usr/huge.bin", 100, false)
+		if err := v.HoardWalk(); err != nil {
+			t.Fatal(err)
+		}
+		w.net.SetUp("c1", "server", false)
+		v.Disconnect()
+		if _, err := v.ReadFile("/coda/usr/huge.bin"); err != nil {
+			t.Errorf("unattended walk did not fetch: %v", err)
+		}
+	})
+}
+
+func TestWalkItemsCarryFigure6Fields(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{
+		"big1.bin": string(bytes.Repeat([]byte("1"), 1<<20)),
+		"big2.bin": string(bytes.Repeat([]byte("2"), 2<<20)),
+	})
+	w.sim.Run(func() {
+		var items []venus.WalkItem
+		v := w.venus("c1", venus.Config{
+			Advisor: venus.FuncAdvisor(func(in []venus.WalkItem) []bool {
+				items = in
+				return make([]bool, len(in))
+			}),
+		})
+		w.setLink("c1", wlModem())
+		mustMount(t, v, "usr")
+		v.Connect(9600)
+		v.HoardAdd("/coda/usr/big1.bin", 200, false)
+		v.HoardAdd("/coda/usr/big2.bin", 700, false)
+		if err := v.HoardWalk(); err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != 2 {
+			t.Fatalf("advisor saw %d items", len(items))
+		}
+		// The Figure 6 screen shows priority and cost per object; higher
+		// priority entries come first (HoardList order).
+		if items[0].Priority != 700 || items[1].Priority != 200 {
+			t.Errorf("priorities = %d,%d; want 700,200", items[0].Priority, items[1].Priority)
+		}
+		if items[0].Cost <= 0 || items[0].Cost <= items[1].Cost {
+			t.Errorf("costs = %v,%v; the 2MB file should cost more", items[0].Cost, items[1].Cost)
+		}
+		if items[0].Size != 2<<20 || items[1].Size != 1<<20 {
+			t.Errorf("sizes = %d,%d", items[0].Size, items[1].Size)
+		}
+	})
+}
+
+func TestHoardWalkWhileStronglyConnectedSkipsAdvisor(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"big.bin": string(bytes.Repeat([]byte("b"), 4<<20))})
+	w.sim.Run(func() {
+		called := false
+		v := w.venus("c1", venus.Config{
+			Advisor: venus.FuncAdvisor(func(in []venus.WalkItem) []bool {
+				called = true
+				return make([]bool, len(in))
+			}),
+		})
+		mustMount(t, v, "usr")
+		v.HoardAdd("/coda/usr/big.bin", 100, false)
+		if err := v.HoardWalk(); err != nil {
+			t.Fatal(err)
+		}
+		if called {
+			t.Error("advisor consulted while strongly connected; misses are fully transparent there")
+		}
+		if _, err := v.Stat("/coda/usr/big.bin"); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestMissListBounded(t *testing.T) {
+	w := newWorld(t)
+	files := map[string]string{}
+	for i := 0; i < 40; i++ {
+		files[time.Now().Format("f")+string(rune('a'+i%26))+string(rune('0'+i/26))] =
+			string(bytes.Repeat([]byte("x"), 600_000))
+	}
+	w.seed("usr", files)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{PinWriteDisconnected: true})
+		w.setLink("c1", wlModem())
+		mustMount(t, v, "usr")
+		v.Connect(9600)
+		for path := range files {
+			v.ReadFile("/coda/usr/" + path) // all deferred
+		}
+		if got := len(v.Misses()); got != len(files) {
+			t.Errorf("recorded %d misses, want %d", got, len(files))
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package venus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codafs"
+)
+
+func mkObj(vnode uint64, size int) *codafs.Object {
+	return &codafs.Object{
+		Status: codafs.Status{
+			FID:    codafs.FID{Volume: 1, Vnode: vnode, Unique: vnode},
+			Type:   codafs.File,
+			Length: int64(size),
+		},
+		Data: make([]byte, size),
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	c := newCache(1 << 20)
+	f := c.install(mkObj(2, 1000), false)
+	if c.bytesUsed() != 1000 {
+		t.Fatalf("used = %d, want 1000", c.bytesUsed())
+	}
+	// In-place growth with recharge.
+	before := f.dataBytes()
+	f.obj.Data = make([]byte, 3000)
+	c.recharge(f, before)
+	if c.bytesUsed() != 3000 {
+		t.Fatalf("used after recharge = %d, want 3000", c.bytesUsed())
+	}
+	// Replacement install resets the charge.
+	c.install(mkObj(2, 500), false)
+	if c.bytesUsed() != 500 {
+		t.Fatalf("used after reinstall = %d, want 500", c.bytesUsed())
+	}
+	c.remove(codafs.FID{Volume: 1, Vnode: 2, Unique: 2})
+	if c.bytesUsed() != 0 || c.count() != 0 {
+		t.Fatalf("used=%d count=%d after remove", c.bytesUsed(), c.count())
+	}
+}
+
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newCache(10_000)
+	low := c.install(mkObj(2, 4000), false)
+	low.hoardPri = 0
+	high := c.install(mkObj(3, 4000), false)
+	high.hoardPri = 900
+	//
+
+	// Touch low afterwards: recency must NOT protect it against the
+	// hoard priority ordering.
+	c.touch(low)
+	if !c.evictFor(4000) {
+		t.Fatal("evictFor failed")
+	}
+	if c.get(low.obj.Status.FID) != nil {
+		t.Error("low-priority object survived over high-priority")
+	}
+	if c.get(high.obj.Status.FID) == nil {
+		t.Error("high-priority object evicted")
+	}
+}
+
+func TestCacheEvictionLRUWithinPriority(t *testing.T) {
+	c := newCache(10_000)
+	a := c.install(mkObj(2, 4000), false)
+	b := c.install(mkObj(3, 4000), false)
+	c.touch(a) // a now more recent than b
+	if !c.evictFor(4000) {
+		t.Fatal("evictFor failed")
+	}
+	if c.get(b.obj.Status.FID) != nil {
+		t.Error("LRU victim b survived")
+	}
+	if c.get(a.obj.Status.FID) == nil {
+		t.Error("recently used a evicted")
+	}
+}
+
+func TestCacheNeverEvictsDirty(t *testing.T) {
+	c := newCache(5_000)
+	d := c.install(mkObj(2, 4000), true) // dirty
+	if c.evictFor(4000) {
+		t.Error("evictFor claimed success with only a dirty object to evict")
+	}
+	if c.get(d.obj.Status.FID) == nil {
+		t.Fatal("dirty object evicted — pending updates would be lost")
+	}
+}
+
+func TestCacheNeverEvictsRoots(t *testing.T) {
+	c := newCache(5_000)
+	root := &codafs.Object{
+		Status:   codafs.Status{FID: codafs.FID{Volume: 1, Vnode: 1, Unique: 1}, Type: codafs.Directory},
+		Children: map[string]codafs.FID{},
+	}
+	for i := 0; i < 200; i++ {
+		root.Children[string(rune('a'+i%26))+string(rune('0'+i%10))] = codafs.FID{Volume: 1, Vnode: uint64(i + 10)}
+	}
+	c.install(root, false)
+	c.evictFor(100_000) // impossible request
+	if c.get(root.Status.FID) == nil {
+		t.Error("volume root evicted")
+	}
+}
+
+// Property: used bytes always equals the sum of residents' charges, across
+// arbitrary install/remove/recharge sequences.
+func TestCacheAccountingProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Vnode uint8
+		Size  uint16
+	}
+	f := func(ops []op) bool {
+		c := newCache(1 << 30)
+		for _, o := range ops {
+			vn := uint64(o.Vnode%16) + 2
+			fid := codafs.FID{Volume: 1, Vnode: vn, Unique: vn}
+			switch o.Kind % 3 {
+			case 0:
+				c.install(mkObj(vn, int(o.Size)), o.Kind%2 == 0)
+			case 1:
+				c.remove(fid)
+			case 2:
+				if f := c.get(fid); f != nil {
+					before := f.dataBytes()
+					f.obj.Data = make([]byte, o.Size)
+					c.recharge(f, before)
+				}
+			}
+		}
+		var want int64
+		for _, f := range c.all() {
+			want += f.dataBytes()
+		}
+		return c.bytesUsed() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatienceThresholdShape(t *testing.T) {
+	p := DefaultPatience()
+	// Monotone in priority; floor at α+β for priority 0.
+	prev := p.Threshold(0)
+	if prev.Seconds() < p.Alpha {
+		t.Errorf("τ(0) = %v below α", prev)
+	}
+	for pri := 100; pri <= 1000; pri += 100 {
+		cur := p.Threshold(pri)
+		if cur <= prev {
+			t.Errorf("τ not increasing at %d: %v <= %v", pri, cur, prev)
+		}
+		prev = cur
+	}
+	// The paper's worked example: 60 s at 64 Kb/s ≈ 480 KB.
+	if got := (PatienceParams{Alpha: 0, Beta: 60, Gamma: 0}).MaxFileSize(0, 64_000); got != 480_000 {
+		t.Errorf("60s at 64Kb/s = %d bytes, want 480000", got)
+	}
+}
+
+func TestCacheStatsFigure6Fields(t *testing.T) {
+	c := newCache(50 << 20)
+	c.install(mkObj(2, 8244<<10/8), false) // arbitrary occupancy
+	v := &Venus{cfg: Config{CacheBytes: 50 << 20}, cache: c}
+	cs := v.CacheStats()
+	if cs.AllocatedBytes != 50<<20 {
+		t.Errorf("Allocated = %d", cs.AllocatedBytes)
+	}
+	if cs.OccupiedBytes != c.bytesUsed() || cs.Objects != 1 {
+		t.Errorf("Occupied = %d Objects = %d", cs.OccupiedBytes, cs.Objects)
+	}
+	if cs.Available() != cs.AllocatedBytes-cs.OccupiedBytes {
+		t.Error("Available inconsistent")
+	}
+}

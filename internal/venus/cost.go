@@ -1,0 +1,68 @@
+package venus
+
+import (
+	"time"
+)
+
+// NetworkCost models the monetary character of the attached network — the
+// future-work direction in the paper's conclusion: "we plan to explore
+// techniques by which Venus can electronically inquire about network cost,
+// and base its adaptation on both cost and quality." A network provider (or
+// the user, via codaclient) supplies the figures; Venus folds them into the
+// two adaptation decisions where traffic volume is discretionary.
+type NetworkCost struct {
+	// PatienceSecondsPerMB converts transfer cost into the currency of
+	// the patience model: fetching a megabyte feels like this many extra
+	// seconds of waiting when compared against τ. On a metered cellular
+	// link a large cache miss is deferred to the user even when the
+	// user would tolerate the time.
+	PatienceSecondsPerMB float64
+	// AgingMultiplier stretches the aging window, giving log
+	// optimizations more opportunity to cancel records before they are
+	// paid for. 0 or 1 leaves the window unchanged.
+	AgingMultiplier float64
+}
+
+// SetNetworkCost installs cost information for the current network; zero
+// values restore free-network behaviour. Typically called together with
+// Connect when the client learns what it is attached to.
+func (v *Venus) SetNetworkCost(c NetworkCost) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.netCost = c
+}
+
+// NetworkCost returns the currently installed cost model.
+func (v *Venus) NetworkCost() NetworkCost {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.netCost
+}
+
+// costPenalty converts the monetary cost of fetching size bytes into
+// patience-equivalent seconds.
+func (v *Venus) costPenalty(size int64) time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.costPenaltyLocked(size)
+}
+
+// costPenaltyLocked is costPenalty for callers already holding v.mu.
+func (v *Venus) costPenaltyLocked(size int64) time.Duration {
+	perMB := v.netCost.PatienceSecondsPerMB
+	if perMB <= 0 {
+		return 0
+	}
+	return time.Duration(perMB * float64(size) / (1 << 20) * float64(time.Second))
+}
+
+// effectiveAging returns the aging window adjusted for network cost.
+func (v *Venus) effectiveAging() time.Duration {
+	v.mu.Lock()
+	mult := v.netCost.AgingMultiplier
+	v.mu.Unlock()
+	if mult <= 1 {
+		return v.cfg.AgingWindow
+	}
+	return time.Duration(float64(v.cfg.AgingWindow) * mult)
+}

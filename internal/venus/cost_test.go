@@ -1,0 +1,87 @@
+package venus_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/venus"
+)
+
+func TestCostAwarePatience(t *testing.T) {
+	// On a fast but METERED link, a fetch that would take only a second
+	// of time is still deferred because of what it costs.
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"video.bin": string(bytes.Repeat([]byte("v"), 2<<20))})
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{PinWriteDisconnected: true})
+		w.setLink("c1", netsim.WaveLan) // 2 Mb/s: ~9s for 2MB, under τ... for free networks
+		mustMount(t, v, "usr")
+		v.Connect(2_000_000)
+
+		// Free network: fetched transparently (9s < τ is false for pri 0...
+		// α=2s; so hoard it moderately to pass on the free network).
+		v.HoardAdd("/coda/usr/video.bin", 600, false) // τ ≈ 405s
+		if _, err := v.ReadFile("/coda/usr/video.bin"); err != nil {
+			t.Fatalf("free network fetch deferred: %v", err)
+		}
+	})
+
+	// Same scenario on a metered link.
+	w2 := newWorld(t)
+	w2.seed("usr", map[string]string{"video.bin": string(bytes.Repeat([]byte("v"), 2<<20))})
+	w2.sim.Run(func() {
+		v := w2.venus("c2", venus.Config{PinWriteDisconnected: true})
+		w2.setLink("c2", netsim.WaveLan)
+		mustMount(t, v, "usr")
+		v.Connect(2_000_000)
+		v.HoardAdd("/coda/usr/video.bin", 600, false)
+		// Cellular pricing: 2 MB feels like 500s of waiting — over τ(600).
+		v.SetNetworkCost(venus.NetworkCost{PatienceSecondsPerMB: 250})
+		_, err := v.ReadFile("/coda/usr/video.bin")
+		if !errors.Is(err, venus.ErrCacheMiss) {
+			t.Fatalf("metered fetch = %v, want deferred miss", err)
+		}
+		// The user can still override by hoarding at top priority.
+		v.SetNetworkCost(venus.NetworkCost{})
+		if _, err := v.ReadFile("/coda/usr/video.bin"); err != nil {
+			t.Errorf("after clearing cost: %v", err)
+		}
+	})
+}
+
+func TestCostStretchesAgingWindow(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{AgingWindow: 10 * time.Second, PinWriteDisconnected: true})
+		w.setLink("c1", netsim.Modem)
+		mustMount(t, v, "usr")
+		v.Connect(9600)
+		// Expensive network: stretch the window 6×, so rewrites within a
+		// minute are still cancelled rather than paid for.
+		v.SetNetworkCost(venus.NetworkCost{AgingMultiplier: 6})
+		if err := v.WriteFile("/coda/usr/f", []byte("draft 1")); err != nil {
+			t.Fatal(err)
+		}
+		w.sim.Sleep(30 * time.Second)
+		// Base window (10s) has passed, stretched window (60s) has not.
+		if _, err := w.srv.ReadFile("usr", "f"); err == nil {
+			t.Error("record shipped inside the cost-stretched aging window")
+		}
+		if err := v.WriteFile("/coda/usr/f", []byte("draft 2")); err != nil {
+			t.Fatal(err)
+		}
+		w.sim.Sleep(2 * time.Minute)
+		got, err := w.srv.ReadFile("usr", "f")
+		if err != nil || string(got) != "draft 2" {
+			t.Fatalf("f = %q, %v", got, err)
+		}
+		// The first draft was cancelled, not shipped: one store only.
+		if st := v.Stats(); st.ShippedRecords > 2 {
+			t.Errorf("ShippedRecords = %d; rewrite should have been optimized out", st.ShippedRecords)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package venus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors for file operations.
+var (
+	// ErrCacheMiss reports an object that is not cached and was not
+	// fetched — either the patience threshold was exceeded (§4.4.1) or
+	// the client is disconnected. Use errors.Is; the concrete value is a
+	// *MissError carrying the estimate.
+	ErrCacheMiss = errors.New("venus: cache miss")
+	// ErrDisconnected qualifies misses that occurred while emulating.
+	ErrDisconnected = errors.New("venus: disconnected")
+	// ErrNotFound reports a name that does not exist.
+	ErrNotFound = errors.New("venus: no such file or directory")
+	// ErrExist reports a creation colliding with an existing name.
+	ErrExist = errors.New("venus: file exists")
+	// ErrNotDir reports a non-directory used as a path component.
+	ErrNotDir = errors.New("venus: not a directory")
+	// ErrIsDir reports a directory where a file was expected.
+	ErrIsDir = errors.New("venus: is a directory")
+	// ErrNotEmpty reports rmdir of a non-empty directory.
+	ErrNotEmpty = errors.New("venus: directory not empty")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("venus: closed")
+)
+
+// MissError is the concrete error for unserviced cache misses. It carries
+// the information Venus showed the user in Figure 5/6: what was missed, how
+// big it is, and what fetching it would have cost.
+type MissError struct {
+	Path         string
+	Size         int64
+	Cost         time.Duration // estimated service time at current bandwidth
+	Threshold    time.Duration // the patience threshold that was exceeded
+	Disconnected bool          // true when emulating (no network at all)
+}
+
+func (e *MissError) Error() string {
+	if e.Disconnected {
+		return fmt.Sprintf("venus: cache miss on %s while disconnected", e.Path)
+	}
+	return fmt.Sprintf("venus: cache miss on %s deferred (%d bytes, est %v > patience %v)",
+		e.Path, e.Size, e.Cost.Round(time.Millisecond), e.Threshold.Round(time.Millisecond))
+}
+
+// Is lets errors.Is match both ErrCacheMiss and, for disconnected misses,
+// ErrDisconnected.
+func (e *MissError) Is(target error) bool {
+	return target == ErrCacheMiss || (e.Disconnected && target == ErrDisconnected)
+}
+
+// MissRecord is one entry in the deferred-miss list a user reviews
+// (Figure 5).
+type MissRecord struct {
+	Time      time.Time
+	Path      string
+	Size      int64
+	Program   string // the program that referenced the object
+	Cost      time.Duration
+	Threshold time.Duration
+}

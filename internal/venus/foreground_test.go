@@ -1,0 +1,63 @@
+package venus_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/venus"
+)
+
+// TestTrickleYieldsToForegroundFetch verifies §4.3.5's design goal: a cache
+// miss serviced while trickle reintegration is draining a large backlog
+// waits at most on the order of one chunk (~30 s of line time), not on the
+// whole backlog.
+func TestTrickleYieldsToForegroundFetch(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{
+		"wanted.txt": "small and urgent",
+	})
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{
+			AgingWindow:          time.Second,
+			TrickleInterval:      time.Second,
+			PinWriteDisconnected: true,
+		})
+		mustMount(t, v, "usr")
+		w.setLink("c1", wlModem())
+		v.Connect(9600)
+		v.HoardAdd("/coda/usr/wanted.txt", 900, false)
+
+		// A 300 KB backlog: ~4.3 minutes of modem line time, drained as
+		// ~36 KB chunks.
+		for i := 0; i < 10; i++ {
+			must(t, v.WriteFile("/coda/usr"+"/big"+string(rune('0'+i)), bytes.Repeat([]byte("b"), 30_000)))
+		}
+		w.sim.Sleep(20 * time.Second) // trickle is now mid-backlog
+
+		// The user needs a small file that is not cached.
+		start := w.sim.Now()
+		if _, err := v.ReadFile("/coda/usr/wanted.txt"); err != nil {
+			t.Fatalf("foreground fetch failed: %v", err)
+		}
+		wait := w.sim.Now().Sub(start)
+
+		// One chunk occupies the line for ~30 s; the whole backlog would
+		// be ~4 minutes. The fetch must see chunk-scale delay.
+		if wait > 90*time.Second {
+			t.Errorf("foreground fetch waited %v; trickle is not yielding between chunks", wait)
+		}
+		// And reintegration still completes afterwards.
+		w.sim.Sleep(10 * time.Minute)
+		if v.CMLRecords() != 0 {
+			t.Errorf("backlog never drained: %d records", v.CMLRecords())
+		}
+	})
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,876 @@
+package venus
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/rpc2"
+	"repro/internal/wire"
+)
+
+// program tags misses with the referencing program for the Figure 5 screen;
+// it is advisory and settable by embedding applications.
+func (v *Venus) SetProgram(name string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.program = name
+}
+
+// ---- Path resolution ----
+
+func (v *Venus) volumeFor(path string) (*vclient, []string, error) {
+	volName, comps, err := codafs.SplitPath(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	v.mu.Lock()
+	vc := v.volumes[volName]
+	v.mu.Unlock()
+	if vc == nil {
+		return nil, nil, fmt.Errorf("venus: volume %q not mounted: %w", volName, ErrNotFound)
+	}
+	return vc, comps, nil
+}
+
+// resolve walks path to its object, fetching intermediate directories (and,
+// when wantData is set, the object's own contents) as needed.
+func (v *Venus) resolve(path string, wantData bool) (*vclient, *fso, error) {
+	vc, comps, err := v.volumeFor(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fid := vc.root
+	walked := codafs.JoinPath(vc.info.Name)
+	for _, c := range comps {
+		dir, err := v.getObject(vc, fid, walked, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if dir.obj.Status.Type != codafs.Directory {
+			return nil, nil, fmt.Errorf("venus: %s: %w", walked, ErrNotDir)
+		}
+		child, ok := dir.obj.Children[c]
+		if !ok {
+			return nil, nil, fmt.Errorf("venus: %s/%s: %w", walked, c, ErrNotFound)
+		}
+		fid = child
+		walked += "/" + c
+	}
+	f, err := v.getObject(vc, fid, walked, wantData)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vc, f, nil
+}
+
+// resolveParent resolves everything but the final component, returning the
+// parent directory object and the final name.
+func (v *Venus) resolveParent(path string) (*vclient, *fso, string, error) {
+	vc, comps, err := v.volumeFor(path)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if len(comps) == 0 {
+		return nil, nil, "", fmt.Errorf("venus: %s names a volume root", path)
+	}
+	name := comps[len(comps)-1]
+	parentPath := codafs.JoinPath(vc.info.Name, comps[:len(comps)-1]...)
+	_, parent, err := v.resolve(parentPath, true)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if parent.obj.Status.Type != codafs.Directory {
+		return nil, nil, "", fmt.Errorf("venus: %s: %w", parentPath, ErrNotDir)
+	}
+	return vc, parent, name, nil
+}
+
+// ---- Miss handling (§4.4.1) ----
+
+// estimateCost predicts the service time for fetching size bytes at the
+// current bandwidth estimate.
+func (v *Venus) estimateCost(size int64) time.Duration {
+	bw := v.peer.Bandwidth()
+	if bw <= 0 {
+		return 0 // no estimate yet: be optimistic
+	}
+	xfer := time.Duration(float64(size*8) / float64(bw) * float64(time.Second))
+	return xfer + v.peer.SRTT() // one request/response round trip
+}
+
+// priorityOf returns the hoard priority governing path's patience
+// threshold: an exact HDB entry, else the nearest ancestor entry covering
+// descendants, else the configured default.
+func (v *Venus) priorityOf(path string) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e, ok := v.hdb[path]; ok {
+		return e.Priority
+	}
+	best := v.cfg.DefaultPriority
+	for p, e := range v.hdb {
+		if e.Children && len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/' {
+			if e.Priority > best {
+				best = e.Priority
+			}
+		}
+	}
+	return best
+}
+
+// getObject returns the cached object for fid, obtaining status and (if
+// wantData) contents from the server subject to the state machine and the
+// patience model.
+func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData bool) (*fso, error) {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return nil, ErrClosed
+	}
+	f := v.cache.get(fid)
+	state := v.state
+
+	// Dirty objects are local truth: serve them regardless of callbacks.
+	if f != nil && f.dirty {
+		v.cache.touch(f)
+		v.mu.Unlock()
+		return f, nil
+	}
+	if f != nil && f.valid && (!wantData || !f.placeholder) {
+		v.cache.touch(f)
+		v.mu.Unlock()
+		return f, nil
+	}
+	if state == Emulating {
+		// Disconnected: cached data is used as-is; anything else is an
+		// unserviceable miss.
+		if f != nil && (!wantData || !f.placeholder) {
+			v.cache.touch(f)
+			v.mu.Unlock()
+			return f, nil
+		}
+		v.stats.DisconnectedMisses++
+		prog := v.program
+		v.mu.Unlock()
+		v.recordMiss(MissRecord{Time: v.clock.Now(), Path: path, Program: prog})
+		return nil, &MissError{Path: path, Disconnected: true}
+	}
+	v.mu.Unlock()
+
+	v.beginForeground()
+	defer v.endForeground()
+
+	// Revalidate a suspect cached object: one cheap status check; if the
+	// version still matches, the copy is good and a fresh callback came
+	// with the GetAttr.
+	var size int64 = -1
+	if f != nil && !f.valid {
+		ga, err := wire.Call[wire.GetAttrRep](v.node, v.cfg.Server, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
+		if err != nil {
+			return nil, v.rpcFailed(path, err)
+		}
+		v.mu.Lock()
+		v.stats.ObjValidations++
+		if ga.Status.Version == f.obj.Status.Version {
+			f.valid = true
+			f.hasCallback = true
+			if !wantData || !f.placeholder {
+				v.cache.touch(f)
+				v.mu.Unlock()
+				return f, nil
+			}
+		} else {
+			// Changed on the server: treat as a miss of the new size.
+			f.placeholder = true
+			f.obj.Status = ga.Status
+		}
+		size = ga.Status.Length
+		v.mu.Unlock()
+	}
+
+	// Unknown object: obtain status first — it is only ~100 bytes, so
+	// the delay is acceptable even on slow networks (§4.4.1).
+	if f == nil {
+		ga, err := wire.Call[wire.GetAttrRep](v.node, v.cfg.Server, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
+		if err != nil {
+			return nil, v.rpcFailed(path, err)
+		}
+		size = ga.Status.Length
+		v.mu.Lock()
+		obj := &codafs.Object{Status: ga.Status}
+		f = v.cache.install(obj, false)
+		f.placeholder = true
+		f.hasCallback = true
+		v.mu.Unlock()
+		if !wantData {
+			return f, nil
+		}
+	}
+
+	if !wantData {
+		return f, nil
+	}
+	if size < 0 {
+		size = f.obj.Status.Length
+	}
+
+	// The patience check applies to data fetches while weakly connected.
+	// Monetary network cost is folded in as patience-equivalent seconds
+	// (cost-aware adaptation, paper §8 future work).
+	if state == WriteDisconnected {
+		cost := v.estimateCost(size) + v.costPenalty(size)
+		pri := v.priorityOf(path)
+		tau := v.cfg.Patience.Threshold(pri)
+		if cost > tau {
+			v.mu.Lock()
+			v.stats.DeferredMisses++
+			prog := v.program
+			v.mu.Unlock()
+			v.recordMiss(MissRecord{
+				Time: v.clock.Now(), Path: path, Size: size,
+				Program: prog, Cost: cost, Threshold: tau,
+			})
+			return nil, &MissError{Path: path, Size: size, Cost: cost, Threshold: tau}
+		}
+	}
+
+	f, err := v.fetchSingleFlight(fid, size)
+	if err != nil {
+		return nil, v.rpcFailed(path, err)
+	}
+	if state == WriteDisconnected {
+		v.mu.Lock()
+		v.stats.TransparentFetches++
+		v.mu.Unlock()
+	}
+	return f, nil
+}
+
+// fetchSingleFlight fetches fid's full contents, coalescing concurrent
+// fetches of the same object (a hoard walk and a foreground miss must not
+// compete for a slow link over the same bytes). The timeout adapts to the
+// object's size at the current bandwidth.
+func (v *Venus) fetchSingleFlight(fid codafs.FID, size int64) (*fso, error) {
+	for {
+		v.mu.Lock()
+		if f := v.cache.get(fid); f != nil && !f.placeholder && f.valid {
+			v.cache.touch(f)
+			v.mu.Unlock()
+			return f, nil
+		}
+		if !v.fetching[fid] {
+			v.fetching[fid] = true
+			v.mu.Unlock()
+			break
+		}
+		v.mu.Unlock()
+		// Another goroutine is fetching this object; wait for it.
+		v.clock.Sleep(200 * time.Millisecond)
+		if v.isClosed() {
+			return nil, ErrClosed
+		}
+	}
+	defer func() {
+		v.mu.Lock()
+		delete(v.fetching, fid)
+		v.mu.Unlock()
+	}()
+
+	timeout := 2*v.estimateCost(size) + 2*time.Minute
+	rep, err := wire.Call[wire.FetchRep](v.node, v.cfg.Server,
+		wire.Fetch{FID: fid, WantCallback: true}, rpc2.CallOpts{Timeout: timeout})
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	obj := rep.Object
+	need := int64(len(obj.Data)) + int64(len(obj.Children))*32
+	v.cache.evictFor(need)
+	pri := 0
+	if old := v.cache.get(fid); old != nil {
+		pri = old.hoardPri
+	}
+	f := v.cache.install(obj.Clone(), false)
+	f.hasCallback = true
+	f.hoardPri = pri
+	v.overlayPendingLocked(f)
+	return f, nil
+}
+
+// overlayPendingLocked re-applies pending CML records that affect a freshly
+// fetched directory's entries: the server's copy cannot yet show the
+// client's own unreintegrated creates, removes, and renames (relevant after
+// LoadState restores a CML whose directories were not cached).
+func (v *Venus) overlayPendingLocked(f *fso) {
+	if f.obj.Status.Type != codafs.Directory {
+		return
+	}
+	fid := f.obj.Status.FID
+	vc := v.volByID[fid.Volume]
+	if vc == nil {
+		return
+	}
+	before := f.dataBytes()
+	changed := false
+	for _, rec := range vc.log.Records() {
+		switch rec.Kind {
+		case cml.Create, cml.Mkdir, cml.MakeSymlink, cml.Link:
+			if rec.Parent == fid {
+				f.obj.Children[rec.Name] = rec.FID
+				changed = true
+			}
+		case cml.Remove, cml.Rmdir:
+			if rec.Parent == fid {
+				delete(f.obj.Children, rec.Name)
+				changed = true
+			}
+		case cml.Rename:
+			if rec.Parent == fid {
+				delete(f.obj.Children, rec.Name)
+				changed = true
+			}
+			if rec.NewParent == fid {
+				f.obj.Children[rec.NewName] = rec.FID
+				changed = true
+			}
+		}
+	}
+	if changed {
+		f.dirty = true
+		v.cache.recharge(f, before)
+	}
+}
+
+func (v *Venus) recordMiss(m MissRecord) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.misses = append(v.misses, m)
+	if len(v.misses) > 1000 {
+		v.misses = v.misses[len(v.misses)-1000:]
+	}
+}
+
+// Misses drains the deferred-miss list (the data behind Figure 5).
+func (v *Venus) Misses() []MissRecord {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := v.misses
+	v.misses = nil
+	return out
+}
+
+// rpcFailed classifies a server RPC failure: timeouts demote Venus to
+// emulating (the server is unreachable) and surface as disconnected misses;
+// other errors pass through.
+func (v *Venus) rpcFailed(path string, err error) error {
+	if errors.Is(err, rpc2.ErrTimeout) {
+		v.transition(Emulating, "server unreachable")
+		return &MissError{Path: path, Disconnected: true}
+	}
+	return err
+}
+
+// ---- Read operations ----
+
+// ReadFile returns the contents of the file at path.
+func (v *Venus) ReadFile(path string) ([]byte, error) {
+	_, f, err := v.resolve(path, true)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if f.obj.Status.Type != codafs.File {
+		return nil, fmt.Errorf("venus: %s: %w", path, ErrIsDir)
+	}
+	return append([]byte(nil), f.obj.Data...), nil
+}
+
+// Stat returns the status of the object at path without fetching contents.
+func (v *Venus) Stat(path string) (codafs.Status, error) {
+	_, f, err := v.resolve(path, false)
+	if err != nil {
+		return codafs.Status{}, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return f.obj.Status, nil
+}
+
+// ReadDir lists the directory at path.
+func (v *Venus) ReadDir(path string) ([]string, error) {
+	_, f, err := v.resolve(path, true)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if f.obj.Status.Type != codafs.Directory {
+		return nil, fmt.Errorf("venus: %s: %w", path, ErrNotDir)
+	}
+	return f.obj.ChildNames(), nil
+}
+
+// ReadLink returns the symlink target at path.
+func (v *Venus) ReadLink(path string) (string, error) {
+	_, f, err := v.resolve(path, true)
+	if err != nil {
+		return "", err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if f.obj.Status.Type != codafs.Symlink {
+		return "", fmt.Errorf("venus: %s: not a symlink", path)
+	}
+	return f.obj.Target, nil
+}
+
+// ---- Write operations ----
+
+// WriteFile stores data at path, creating the file if needed (open-close
+// session semantics: one call is one close-after-write).
+func (v *Venus) WriteFile(path string, data []byte) error {
+	vc, parent, name, err := v.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if !codafs.ValidName(name) {
+		return fmt.Errorf("venus: invalid name %q", name)
+	}
+
+	v.mu.Lock()
+	fid, exists := parent.obj.Children[name]
+	v.mu.Unlock()
+
+	if !exists {
+		if err := v.makeObject(vc, parent, name, codafs.File, ""); err != nil {
+			return err
+		}
+		v.mu.Lock()
+		fid = parent.obj.Children[name]
+		v.mu.Unlock()
+	}
+
+	f, err := v.getObject(vc, fid, path, false)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	if f.obj.Status.Type != codafs.File {
+		v.mu.Unlock()
+		return fmt.Errorf("venus: %s: %w", path, ErrIsDir)
+	}
+	prevVersion := f.obj.Status.Version
+	state := v.state
+	v.mu.Unlock()
+
+	if state == Hoarding {
+		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.StoreOp{
+			FID: fid, Data: data, PrevVersion: prevVersion,
+		}, rpc2.CallOpts{Timeout: 10 * time.Minute})
+		if err == nil {
+			v.mu.Lock()
+			before := f.dataBytes()
+			f.obj.Data = append([]byte(nil), data...)
+			f.obj.Status = rep.Status
+			f.placeholder = false
+			f.hasCallback = true
+			v.cache.recharge(f, before)
+			vc.noteStamp(rep.VolStamp)
+			v.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, rpc2.ErrTimeout) {
+			return err
+		}
+		v.transition(Emulating, "server unreachable")
+	}
+
+	// Weakly connected or disconnected: log and apply locally.
+	now := v.clock.Now()
+	vc.log.Append(cml.Record{
+		Kind: cml.Store, FID: fid, Parent: parent.obj.Status.FID, Name: name,
+		Data: append([]byte(nil), data...), Length: int64(len(data)),
+		ModTime: now, PrevVersion: prevVersion, Owner: v.owner(),
+	}, now)
+	v.mu.Lock()
+	before := f.dataBytes()
+	if v.cfg.EnableDeltas && !f.dirty && !f.placeholder &&
+		f.obj.Status.Version > 0 && len(f.obj.Data) >= 2048 {
+		// Shadow the last server-known contents so reintegration can
+		// ship a difference instead of the whole file.
+		f.base = f.obj.Data
+	}
+	f.obj.Data = append([]byte(nil), data...)
+	f.obj.Status.Length = int64(len(data))
+	f.obj.Status.ModTime = now
+	f.placeholder = false
+	f.dirty = true
+	v.cache.recharge(f, before)
+	v.cache.evictFor(0)
+	v.mu.Unlock()
+	return nil
+}
+
+// Mkdir creates a directory at path.
+func (v *Venus) Mkdir(path string) error {
+	vc, parent, name, err := v.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	return v.makeObject(vc, parent, name, codafs.Directory, "")
+}
+
+// Symlink creates a symbolic link at path pointing at target.
+func (v *Venus) Symlink(target, path string) error {
+	vc, parent, name, err := v.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	return v.makeObject(vc, parent, name, codafs.Symlink, target)
+}
+
+// makeObject creates a file/dir/symlink under parent.
+func (v *Venus) makeObject(vc *vclient, parent *fso, name string, typ codafs.ObjType, target string) error {
+	if !codafs.ValidName(name) {
+		return fmt.Errorf("venus: invalid name %q", name)
+	}
+	v.mu.Lock()
+	if _, dup := parent.obj.Children[name]; dup {
+		v.mu.Unlock()
+		return fmt.Errorf("venus: %s: %w", name, ErrExist)
+	}
+	fid := v.allocFID(vc.info.ID)
+	state := v.state
+	parentFID := parent.obj.Status.FID
+	v.mu.Unlock()
+
+	if state == Hoarding {
+		rep, err := wire.Call[wire.MakeObjectRep](v.node, v.cfg.Server, wire.MakeObject{
+			Parent: parentFID, Name: name, FID: fid, Type: typ, Target: target, Owner: v.owner(),
+		}, rpc2.CallOpts{})
+		if err == nil {
+			v.mu.Lock()
+			v.installChildLocked(parent, name, rep.Status, target, false)
+			parent.obj.Status = rep.ParentStatus
+			vc.noteStamp(rep.VolStamp)
+			v.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, rpc2.ErrTimeout) {
+			return err
+		}
+		v.transition(Emulating, "server unreachable")
+	}
+
+	now := v.clock.Now()
+	kind := cml.Create
+	switch typ {
+	case codafs.Directory:
+		kind = cml.Mkdir
+	case codafs.Symlink:
+		kind = cml.MakeSymlink
+	}
+	vc.log.Append(cml.Record{
+		Kind: kind, FID: fid, Parent: parentFID, Name: name, Target: target,
+		ModTime: now, Owner: v.owner(), PrevParentVersion: parent.obj.Status.Version,
+	}, now)
+	v.mu.Lock()
+	st := codafs.Status{
+		FID: fid, Type: typ, ModTime: now, Owner: v.owner(), Links: 1,
+		Mode: 0644, Length: int64(len(target)),
+	}
+	if typ == codafs.Directory {
+		st.Mode = 0755
+	}
+	v.installChildLocked(parent, name, st, target, true)
+	parent.dirty = true
+	v.mu.Unlock()
+	return nil
+}
+
+// installChildLocked adds a freshly created object to the cache and its
+// parent's entry map.
+func (v *Venus) installChildLocked(parent *fso, name string, st codafs.Status, target string, dirty bool) {
+	obj := &codafs.Object{Status: st, Target: target}
+	if st.Type == codafs.Directory {
+		obj.Children = make(map[string]codafs.FID)
+	}
+	f := v.cache.install(obj, dirty)
+	f.hasCallback = !dirty
+	before := parent.dataBytes()
+	parent.obj.Children[name] = st.FID
+	v.cache.recharge(parent, before)
+	v.cache.touch(parent)
+}
+
+// Remove unlinks the file or symlink at path.
+func (v *Venus) Remove(path string) error { return v.removeCommon(path, false) }
+
+// Rmdir removes the empty directory at path.
+func (v *Venus) Rmdir(path string) error { return v.removeCommon(path, true) }
+
+func (v *Venus) removeCommon(path string, rmdir bool) error {
+	vc, parent, name, err := v.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	_, target, err := v.resolve(path, rmdir) // dirs need contents to check emptiness
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	fid := target.obj.Status.FID
+	prevVersion := target.obj.Status.Version
+	isDir := target.obj.Status.Type == codafs.Directory
+	if rmdir {
+		if !isDir {
+			v.mu.Unlock()
+			return fmt.Errorf("venus: %s: %w", path, ErrNotDir)
+		}
+		if len(target.obj.Children) > 0 {
+			v.mu.Unlock()
+			return fmt.Errorf("venus: %s: %w", path, ErrNotEmpty)
+		}
+	} else if isDir {
+		v.mu.Unlock()
+		return fmt.Errorf("venus: %s: %w", path, ErrIsDir)
+	}
+	state := v.state
+	parentFID := parent.obj.Status.FID
+	v.mu.Unlock()
+
+	if state == Hoarding {
+		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.RemoveOp{
+			Parent: parentFID, Name: name, FID: fid, Rmdir: rmdir,
+		}, rpc2.CallOpts{})
+		if err == nil {
+			v.mu.Lock()
+			v.dropChildLocked(parent, name, fid)
+			vc.noteStamp(rep.VolStamp)
+			v.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, rpc2.ErrTimeout) {
+			return err
+		}
+		v.transition(Emulating, "server unreachable")
+	}
+
+	now := v.clock.Now()
+	kind := cml.Remove
+	if rmdir {
+		kind = cml.Rmdir
+	}
+	vc.log.Append(cml.Record{
+		Kind: kind, FID: fid, Parent: parentFID, Name: name,
+		PrevVersion: prevVersion, Owner: v.owner(),
+	}, now)
+	v.mu.Lock()
+	v.dropChildLocked(parent, name, fid)
+	parent.dirty = true
+	v.mu.Unlock()
+	return nil
+}
+
+func (v *Venus) dropChildLocked(parent *fso, name string, fid codafs.FID) {
+	before := parent.dataBytes()
+	delete(parent.obj.Children, name)
+	v.cache.recharge(parent, before)
+	v.cache.remove(fid)
+}
+
+// Rename moves oldPath to newPath within one volume.
+func (v *Venus) Rename(oldPath, newPath string) error {
+	vcOld, oldParent, oldName, err := v.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	vcNew, newParent, newName, err := v.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if vcOld != vcNew {
+		return fmt.Errorf("venus: rename across volumes")
+	}
+	v.mu.Lock()
+	fid, ok := oldParent.obj.Children[oldName]
+	if !ok {
+		v.mu.Unlock()
+		return fmt.Errorf("venus: %s: %w", oldPath, ErrNotFound)
+	}
+	if _, taken := newParent.obj.Children[newName]; taken {
+		v.mu.Unlock()
+		return fmt.Errorf("venus: %s: %w", newPath, ErrExist)
+	}
+	state := v.state
+	oldPFID := oldParent.obj.Status.FID
+	newPFID := newParent.obj.Status.FID
+	v.mu.Unlock()
+
+	apply := func() {
+		v.mu.Lock()
+		beforeOld, beforeNew := oldParent.dataBytes(), newParent.dataBytes()
+		delete(oldParent.obj.Children, oldName)
+		newParent.obj.Children[newName] = fid
+		v.cache.recharge(oldParent, beforeOld)
+		if newParent != oldParent {
+			v.cache.recharge(newParent, beforeNew)
+		}
+		v.mu.Unlock()
+	}
+
+	if state == Hoarding {
+		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.RenameOp{
+			Parent: oldPFID, Name: oldName, NewParent: newPFID, NewName: newName, FID: fid,
+		}, rpc2.CallOpts{})
+		if err == nil {
+			apply()
+			v.mu.Lock()
+			vcOld.noteStamp(rep.VolStamp)
+			v.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, rpc2.ErrTimeout) {
+			return err
+		}
+		v.transition(Emulating, "server unreachable")
+	}
+
+	now := v.clock.Now()
+	vcOld.log.Append(cml.Record{
+		Kind: cml.Rename, FID: fid, Parent: oldPFID, Name: oldName,
+		NewParent: newPFID, NewName: newName, Owner: v.owner(),
+	}, now)
+	apply()
+	v.mu.Lock()
+	oldParent.dirty = true
+	newParent.dirty = true
+	v.mu.Unlock()
+	return nil
+}
+
+// Link creates a hard link at newPath to the file at existingPath.
+func (v *Venus) Link(existingPath, newPath string) error {
+	vcT, target, err := v.resolve(existingPath, false)
+	if err != nil {
+		return err
+	}
+	vcP, parent, name, err := v.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if vcT != vcP {
+		return fmt.Errorf("venus: link across volumes")
+	}
+	v.mu.Lock()
+	if target.obj.Status.Type == codafs.Directory {
+		v.mu.Unlock()
+		return fmt.Errorf("venus: %s: %w", existingPath, ErrIsDir)
+	}
+	if _, taken := parent.obj.Children[name]; taken {
+		v.mu.Unlock()
+		return fmt.Errorf("venus: %s: %w", newPath, ErrExist)
+	}
+	fid := target.obj.Status.FID
+	state := v.state
+	parentFID := parent.obj.Status.FID
+	v.mu.Unlock()
+
+	apply := func() {
+		v.mu.Lock()
+		before := parent.dataBytes()
+		parent.obj.Children[name] = fid
+		target.obj.Status.Links++
+		v.cache.recharge(parent, before)
+		v.mu.Unlock()
+	}
+
+	if state == Hoarding {
+		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.LinkOp{
+			Parent: parentFID, Name: name, FID: fid,
+		}, rpc2.CallOpts{})
+		if err == nil {
+			apply()
+			v.mu.Lock()
+			vcT.noteStamp(rep.VolStamp)
+			v.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, rpc2.ErrTimeout) {
+			return err
+		}
+		v.transition(Emulating, "server unreachable")
+	}
+
+	now := v.clock.Now()
+	vcT.log.Append(cml.Record{
+		Kind: cml.Link, FID: fid, Parent: parentFID, Name: name, Owner: v.owner(),
+	}, now)
+	apply()
+	v.mu.Lock()
+	parent.dirty = true
+	target.dirty = true
+	v.mu.Unlock()
+	return nil
+}
+
+// SetAttr updates an object's mode bits.
+func (v *Venus) SetAttr(path string, mode uint32) error {
+	vc, f, err := v.resolve(path, false)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	fid := f.obj.Status.FID
+	prev := f.obj.Status.Version
+	state := v.state
+	v.mu.Unlock()
+
+	if state == Hoarding {
+		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.SetAttrOp{
+			FID: fid, Mode: mode, ModTime: v.clock.Now(), PrevVersion: prev,
+		}, rpc2.CallOpts{})
+		if err == nil {
+			v.mu.Lock()
+			f.obj.Status = rep.Status
+			vc.noteStamp(rep.VolStamp)
+			v.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, rpc2.ErrTimeout) {
+			return err
+		}
+		v.transition(Emulating, "server unreachable")
+	}
+
+	now := v.clock.Now()
+	vc.log.Append(cml.Record{
+		Kind: cml.SetAttr, FID: fid, Mode: mode, ModTime: now,
+		PrevVersion: prev, Owner: v.owner(),
+	}, now)
+	v.mu.Lock()
+	f.obj.Status.Mode = mode
+	f.obj.Status.ModTime = now
+	f.dirty = true
+	v.mu.Unlock()
+	return nil
+}
+
+func (v *Venus) owner() string {
+	return fmt.Sprintf("client-%d", v.cfg.ClientID)
+}
+
+// noteStamp updates the cached volume stamp after this client's own
+// connected-mode update; the client's volume callback remains intact, so
+// the stamp stays usable (mirrors the server not breaking the updater's
+// callback).
+func (vc *vclient) noteStamp(stamp uint64) {
+	if vc.hasStamp {
+		vc.stamp = stamp
+	}
+}

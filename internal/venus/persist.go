@@ -1,0 +1,218 @@
+package venus
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+)
+
+// Persistence for the state that must survive a client crash or restart.
+// The paper's Venus keeps the CML in recoverable virtual memory, which is
+// what lets trickle reintegration defer propagation for hours: "local
+// persistence of updates on a Coda client is assured by the CML" (§4.3.1).
+// Here the CML of every volume and the hoard database are serialized
+// together; cached file contents are an optimization and are refetched
+// rather than persisted.
+
+// stateImage is the serialized form of Venus's durable state. Each CML is
+// pre-serialized to bytes so the whole image travels through one gob
+// encoder (gob decoders read ahead, so streams cannot be safely chained).
+type stateImage struct {
+	HDB     []HDBEntry
+	Volumes []string // names, aligned with Logs
+	Logs    [][]byte // cml.Log.Save output per volume
+}
+
+// SaveState writes the hoard database and every volume's CML to w.
+// Call while no reintegration is in flight (e.g. at shutdown); a log is
+// saved without its barrier, so an interrupted reintegration is simply
+// retried after restart (the server's atomicity makes the retry safe).
+func (v *Venus) SaveState(w io.Writer) error {
+	v.mu.Lock()
+	img := stateImage{}
+	for _, e := range v.hdb {
+		img.HDB = append(img.HDB, *e)
+	}
+	var logs []*cml.Log
+	for name, vc := range v.volumes {
+		img.Volumes = append(img.Volumes, name)
+		logs = append(logs, vc.log)
+	}
+	v.mu.Unlock()
+
+	for i, log := range logs {
+		var buf bytes.Buffer
+		if err := log.Save(&buf); err != nil {
+			return fmt.Errorf("venus: save CML for %s: %w", img.Volumes[i], err)
+		}
+		img.Logs = append(img.Logs, buf.Bytes())
+	}
+	if err := gob.NewEncoder(w).Encode(img); err != nil {
+		return fmt.Errorf("venus: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores state saved by SaveState. Volumes must already be
+// mounted (Mount re-establishes server identity); CMLs for volumes that are
+// not mounted are skipped with an error. Loaded records reintegrate through
+// the ordinary trickle path once their age qualifies (their logged times
+// are preserved, so a restart does not reset the aging window).
+func (v *Venus) LoadState(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	var img stateImage
+	if err := dec.Decode(&img); err != nil {
+		return fmt.Errorf("venus: load state: %w", err)
+	}
+
+	v.mu.Lock()
+	for i := range img.HDB {
+		e := img.HDB[i]
+		v.hdb[e.Path] = &e
+	}
+	v.mu.Unlock()
+
+	for i, name := range img.Volumes {
+		log, err := cml.Load(bytes.NewReader(img.Logs[i]))
+		if err != nil {
+			return fmt.Errorf("venus: load CML for %s: %w", name, err)
+		}
+		v.mu.Lock()
+		vc := v.volumes[name]
+		if vc == nil {
+			v.mu.Unlock()
+			return fmt.Errorf("venus: CML for unmounted volume %q", name)
+		}
+		vc.log = log
+		// Replay the restored records into the cache so the local name
+		// space shows the offline work again (the paper's Venus persists
+		// its whole cache in RVM; here contents travel with the CML).
+		for _, rec := range log.Records() {
+			v.applyRestoredRecordLocked(rec)
+		}
+		v.mu.Unlock()
+	}
+	// A client restarting with pending updates is not fully synchronized:
+	// run write-disconnected until the restored CML drains (the trickle
+	// daemon promotes back to hoarding afterwards).
+	if v.CMLRecords() > 0 && v.State() == Hoarding {
+		v.transition(WriteDisconnected, "restored CML")
+	}
+	return nil
+}
+
+// applyRestoredRecordLocked re-applies one restored CML record to the local
+// cache: objects it created are reinstated, contents it stored become local
+// truth, and parent directories regain the entries. Parents not currently
+// cached are reconciled when fetched (see overlayPendingLocked).
+func (v *Venus) applyRestoredRecordLocked(rec *cml.Record) {
+	ensure := func(fid codafs.FID, typ codafs.ObjType) *fso {
+		f := v.cache.get(fid)
+		if f != nil {
+			f.dirty = true
+			return f
+		}
+		obj := &codafs.Object{Status: codafs.Status{
+			FID: fid, Type: typ, Version: rec.PrevVersion,
+			ModTime: rec.ModTime, Mode: rec.Mode, Owner: rec.Owner, Links: 1,
+		}}
+		if typ == codafs.Directory {
+			obj.Children = make(map[string]codafs.FID)
+		}
+		return v.cache.install(obj, true)
+	}
+	addEntry := func(parent codafs.FID, name string, child codafs.FID) {
+		if p := v.cache.get(parent); p != nil && p.obj.Children != nil {
+			before := p.dataBytes()
+			p.obj.Children[name] = child
+			p.dirty = true
+			v.cache.recharge(p, before)
+		}
+	}
+	dropEntry := func(parent codafs.FID, name string) {
+		if p := v.cache.get(parent); p != nil && p.obj.Children != nil {
+			before := p.dataBytes()
+			delete(p.obj.Children, name)
+			p.dirty = true
+			v.cache.recharge(p, before)
+		}
+	}
+
+	switch rec.Kind {
+	case cml.Create:
+		ensure(rec.FID, codafs.File)
+		addEntry(rec.Parent, rec.Name, rec.FID)
+	case cml.Mkdir:
+		ensure(rec.FID, codafs.Directory)
+		addEntry(rec.Parent, rec.Name, rec.FID)
+	case cml.MakeSymlink:
+		f := ensure(rec.FID, codafs.Symlink)
+		f.obj.Target = rec.Target
+		addEntry(rec.Parent, rec.Name, rec.FID)
+	case cml.Store:
+		f := ensure(rec.FID, codafs.File)
+		before := f.dataBytes()
+		f.obj.Data = append([]byte(nil), rec.Data...)
+		f.obj.Status.Length = rec.Length
+		f.placeholder = false
+		v.cache.recharge(f, before)
+	case cml.SetAttr:
+		f := ensure(rec.FID, codafs.File)
+		if rec.Mode != 0 {
+			f.obj.Status.Mode = rec.Mode
+		}
+	case cml.Remove, cml.Rmdir:
+		dropEntry(rec.Parent, rec.Name)
+		v.cache.remove(rec.FID)
+	case cml.Link:
+		addEntry(rec.Parent, rec.Name, rec.FID)
+		if f := v.cache.get(rec.FID); f != nil {
+			f.dirty = true
+		}
+	case cml.Rename:
+		dropEntry(rec.Parent, rec.Name)
+		addEntry(rec.NewParent, rec.NewName, rec.FID)
+		if f := v.cache.get(rec.FID); f != nil {
+			f.dirty = true
+		}
+	}
+}
+
+// SaveStateFile persists to path atomically (write + rename).
+func (v *Venus) SaveStateFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := v.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStateFile restores from a file written by SaveStateFile. A missing
+// file is not an error (first run).
+func (v *Venus) LoadStateFile(path string) error {
+	f, err := os.Open(filepath.Clean(path))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return v.LoadState(f)
+}

@@ -1,0 +1,155 @@
+package venus_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/venus"
+)
+
+func TestSaveLoadStateAcrossRestart(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"doc": "server copy"})
+	dir := t.TempDir()
+	stateFile := filepath.Join(dir, "venus.state")
+
+	w.sim.Run(func() {
+		// Session 1: hoard, disconnect, edit, crash (save + close).
+		v1 := w.venus("c1", venus.Config{ClientID: 42, AgingWindow: time.Hour})
+		mustMount(t, v1, "usr")
+		v1.HoardAdd("/coda/usr/doc", 700, false)
+		if _, err := v1.ReadFile("/coda/usr/doc"); err != nil {
+			t.Fatal(err)
+		}
+		w.net.SetUp("c1", "server", false)
+		v1.Disconnect()
+		if err := v1.WriteFile("/coda/usr/doc", []byte("edited offline")); err != nil {
+			t.Fatal(err)
+		}
+		if err := v1.WriteFile("/coda/usr/new.txt", []byte("created offline")); err != nil {
+			t.Fatal(err)
+		}
+		records := v1.CMLRecords()
+		if err := v1.SaveStateFile(stateFile); err != nil {
+			t.Fatal(err)
+		}
+		v1.Close()
+		w.net.SetUp("c1", "server", true)
+
+		// Session 2: a fresh Venus on the same client identity restores
+		// the CML and HDB, then reintegrates the offline work.
+		v2 := w.venus("c1b", venus.Config{ClientID: 42, AgingWindow: 2 * time.Second})
+		mustMount(t, v2, "usr")
+		if err := v2.LoadStateFile(stateFile); err != nil {
+			t.Fatal(err)
+		}
+		if got := v2.CMLRecords(); got != records {
+			t.Fatalf("restored CML has %d records, want %d", got, records)
+		}
+		if len(v2.HoardList()) != 1 {
+			t.Errorf("HDB not restored: %v", v2.HoardList())
+		}
+		// Local reads see the restored (dirty) contents immediately.
+		if data, err := v2.ReadFile("/coda/usr/doc"); err != nil || string(data) != "edited offline" {
+			t.Errorf("restored read = %q, %v", data, err)
+		}
+
+		w.sim.Sleep(time.Minute)
+		if got, err := w.srv.ReadFile("usr", "doc"); err != nil || string(got) != "edited offline" {
+			t.Errorf("doc after restart-reintegration = %q, %v", got, err)
+		}
+		if got, err := w.srv.ReadFile("usr", "new.txt"); err != nil || string(got) != "created offline" {
+			t.Errorf("new.txt after restart-reintegration = %q, %v", got, err)
+		}
+		if v2.CMLRecords() != 0 {
+			t.Errorf("CML not drained after restore: %d", v2.CMLRecords())
+		}
+	})
+}
+
+func TestLoadStateMissingFileIsFirstRun(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{})
+		mustMount(t, v, "usr")
+		if err := v.LoadStateFile(filepath.Join(t.TempDir(), "absent.state")); err != nil {
+			t.Errorf("missing state file: %v", err)
+		}
+	})
+}
+
+func TestLoadStateUnmountedVolumeRejected(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.seed("other", nil)
+	w.sim.Run(func() {
+		v1 := w.venus("c1", venus.Config{ClientID: 1})
+		mustMount(t, v1, "usr")
+		mustMount(t, v1, "other")
+		v1.Disconnect()
+		v1.WriteFile("/coda/other/f", []byte("x"))
+		var buf bytes.Buffer
+		if err := v1.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+
+		v2 := w.venus("c2", venus.Config{ClientID: 1})
+		mustMount(t, v2, "usr") // "other" not mounted
+		if err := v2.LoadState(&buf); err == nil {
+			t.Error("LoadState accepted CML for an unmounted volume")
+		}
+	})
+}
+
+func TestRestoredRecordsOverlayFetchedDirectories(t *testing.T) {
+	// The offline work happened in a subdirectory that is NOT cached when
+	// the state is restored; fetching it later from the server must show
+	// the pending (unreintegrated) entries overlaid on the server's copy.
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"proj/existing.txt": "old"})
+	w.sim.Run(func() {
+		v1 := w.venus("c1", venus.Config{ClientID: 9, AgingWindow: time.Hour})
+		mustMount(t, v1, "usr")
+		if _, err := v1.ReadDir("/coda/usr/proj"); err != nil {
+			t.Fatal(err)
+		}
+		w.net.SetUp("c1", "server", false)
+		v1.Disconnect()
+		if err := v1.WriteFile("/coda/usr/proj/offline.txt", []byte("pending")); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := v1.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		v1.Close()
+		w.net.SetUp("c1", "server", true)
+
+		v2 := w.venus("c1c", venus.Config{ClientID: 9, AgingWindow: time.Hour, PinWriteDisconnected: true})
+		mustMount(t, v2, "usr")
+		if err := v2.LoadState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		// proj is not cached in v2; resolving it fetches the server copy,
+		// which lacks offline.txt — the overlay must add it back.
+		names, err := v2.ReadDir("/coda/usr/proj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, n := range names {
+			if n == "offline.txt" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ReadDir = %v; pending create not overlaid", names)
+		}
+		if data, err := v2.ReadFile("/coda/usr/proj/offline.txt"); err != nil || string(data) != "pending" {
+			t.Errorf("offline.txt = %q, %v", data, err)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package venus
+
+import (
+	"time"
+)
+
+// probeDaemon maintains Venus's picture of server reachability, as the
+// real Venus does with periodic RPC2 probes:
+//
+//   - While disconnected (emulating), it probes the server at each
+//     interval; a response means the network is back, and Venus moves to
+//     write-disconnected on its own — the user does not have to run
+//     anything for reintegration to resume.
+//   - While connected, it probes only if nothing has been heard from the
+//     server for a full interval (the unified keepalive of §4.1: any RPC2
+//     or SFTP traffic suppresses probes); a failed probe demotes to
+//     emulating so misses fail fast instead of hanging on timeouts.
+//
+// The daemon only runs when Config.ProbeInterval is set; experiments
+// control connectivity explicitly and leave it off.
+func (v *Venus) probeDaemon() {
+	interval := v.cfg.ProbeInterval
+	for {
+		v.clock.Sleep(interval)
+		if v.isClosed() {
+			return
+		}
+		switch v.State() {
+		case Emulating:
+			if err := v.node.Probe(v.cfg.Server, probeTimeout); err == nil {
+				v.Connect(0) // bandwidth learned from subsequent traffic
+			}
+		default:
+			if v.peer.Alive(interval) {
+				continue // recent traffic is proof enough
+			}
+			if err := v.node.Probe(v.cfg.Server, probeTimeout); err != nil {
+				if v.isClosed() {
+					return
+				}
+				v.transition(Emulating, "probe failed")
+			}
+		}
+	}
+}
+
+// probeTimeout bounds one probe exchange (with retries inside rpc2).
+const probeTimeout = 20 * time.Second
+
+// Probe checks server reachability once, on demand.
+func (v *Venus) Probe() error {
+	err := v.node.Probe(v.cfg.Server, probeTimeout)
+	if err != nil && v.isClosed() {
+		return ErrClosed
+	}
+	return err
+}

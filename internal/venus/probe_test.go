@@ -1,0 +1,84 @@
+package venus_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/venus"
+)
+
+func TestProbeDaemonAutoReconnects(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{
+			ProbeInterval: 30 * time.Second,
+			AgingWindow:   2 * time.Second,
+		})
+		mustMount(t, v, "usr")
+
+		// Outage: Venus notices by itself (probe fails).
+		w.net.SetUp("c1", "server", false)
+		w.sim.Sleep(3 * time.Minute)
+		if v.State() != venus.Emulating {
+			t.Fatalf("prober did not detect the outage: %v", v.State())
+		}
+
+		// Offline work.
+		if err := v.WriteFile("/coda/usr/note", []byte("while away")); err != nil {
+			t.Fatal(err)
+		}
+
+		// The network returns; within a probe interval Venus reconnects
+		// and the CML drains — no user action at all.
+		w.net.SetUp("c1", "server", true)
+		w.sim.Sleep(3 * time.Minute)
+		if v.State() == venus.Emulating {
+			t.Fatalf("prober did not detect reconnection")
+		}
+		if got, err := w.srv.ReadFile("usr", "note"); err != nil || string(got) != "while away" {
+			t.Errorf("offline note not reintegrated: %q, %v", got, err)
+		}
+	})
+}
+
+func TestProbeDaemonQuietWhenTrafficFlows(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"f": "x"})
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{ProbeInterval: time.Minute})
+		mustMount(t, v, "usr")
+		before := w.net.StatsBetween("c1", "server").PacketsSent
+		// Steady foreground traffic more frequent than the interval:
+		// probes must be suppressed (unified keepalive, §4.1).
+		for i := 0; i < 10; i++ {
+			w.sim.Sleep(30 * time.Second)
+			if _, err := v.Stat("/coda/usr/f"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Re-stat forces small RPCs? No: cached+valid stats are local.
+		// The point: five minutes passed; if probes fired every minute
+		// we would see ≥ 5 probe packets beyond the stat traffic.
+		sent := w.net.StatsBetween("c1", "server").PacketsSent - before
+		if sent > 6 {
+			t.Errorf("%d packets sent during quiet cached operation; probes not suppressed?", sent)
+		}
+	})
+}
+
+func TestExplicitProbe(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{})
+		mustMount(t, v, "usr")
+		if err := v.Probe(); err != nil {
+			t.Errorf("probe on healthy link: %v", err)
+		}
+		w.net.SetUp("c1", "server", false)
+		if err := v.Probe(); err == nil {
+			t.Error("probe succeeded across a dead link")
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package venus
+
+import (
+	"fmt"
+
+	"repro/internal/rpc2"
+	"repro/internal/wire"
+)
+
+// transition moves Venus between states (Figure 2), performing the actions
+// each edge requires.
+func (v *Venus) transition(to State, reason string) {
+	v.mu.Lock()
+	from := v.state
+	if from == to {
+		v.mu.Unlock()
+		return
+	}
+	// The only legal edges are those of Figure 2; emulating must pass
+	// through write-disconnected on any reconnection.
+	if from == Emulating && to == Hoarding {
+		to = WriteDisconnected
+	}
+	v.state = to
+	v.stats.Transitions[fmt.Sprintf("%s->%s", from, to)]++
+
+	switch {
+	case to == Emulating:
+		// Object callbacks are meaningless while disconnected; cached
+		// state is used as-is and revalidated at reconnection.
+		for _, f := range v.cache.all() {
+			f.hasCallback = false
+		}
+	case from == Emulating && to == WriteDisconnected:
+		// Reconnection: rapid cache validation with volume stamps
+		// happens outside the lock, below.
+	}
+	v.mu.Unlock()
+
+	if from == Emulating && to == WriteDisconnected {
+		v.validateOnReconnect()
+	}
+}
+
+// Disconnect severs Venus from the server (the user pulled the cable, or
+// the connectivity prober gave up). Cached data remains usable; updates are
+// logged.
+func (v *Venus) Disconnect() {
+	v.transition(Emulating, "explicit disconnect")
+}
+
+// Connect tells Venus the network is back. bandwidthHint, if positive,
+// seeds the bandwidth estimate (e.g. the user named the attached network);
+// transport measurements refine it continuously. Venus enters the
+// write-disconnected state; the trickle daemon promotes it to hoarding once
+// connectivity is strong and the CML has drained (Figure 2).
+func (v *Venus) Connect(bandwidthHint int64) {
+	if bandwidthHint > 0 {
+		v.peer.SetBandwidth(bandwidthHint)
+	}
+	v.transition(WriteDisconnected, "reconnected")
+}
+
+// WriteDisconnect forces the write-disconnected state regardless of
+// connection strength — the paper's "logically disconnected while
+// physically connected" mode of use (§3.2).
+func (v *Venus) WriteDisconnect() {
+	v.transition(WriteDisconnected, "forced write-disconnect")
+}
+
+// maybePromote moves WriteDisconnected → Hoarding when connectivity is
+// strong and every CML has drained; called by the trickle daemon after
+// successful reintegrations.
+func (v *Venus) maybePromote() {
+	if v.cfg.PinWriteDisconnected {
+		return
+	}
+	v.mu.Lock()
+	if v.state != WriteDisconnected {
+		v.mu.Unlock()
+		return
+	}
+	strong := v.peer.Bandwidth() >= v.cfg.StrongThreshold
+	empty := true
+	for _, vc := range v.volumes {
+		if vc.log.Len() > 0 {
+			empty = false
+			break
+		}
+	}
+	v.mu.Unlock()
+	if strong && empty {
+		v.transition(Hoarding, "strong connectivity, CML drained")
+	}
+}
+
+// maybeDemote moves Hoarding → WriteDisconnected when the measured
+// bandwidth has sunk below the strong threshold.
+func (v *Venus) maybeDemote() {
+	v.mu.Lock()
+	demote := v.state == Hoarding
+	v.mu.Unlock()
+	if !demote {
+		return
+	}
+	bw := v.peer.Bandwidth()
+	if bw > 0 && bw < v.cfg.StrongThreshold {
+		v.transition(WriteDisconnected, "bandwidth below strong threshold")
+	}
+}
+
+// validateOnReconnect performs rapid cache validation (§4.2): all cached
+// volume stamps are presented in a single batched RPC; every object in a
+// volume whose stamp is still valid is thereby validated at once, and a
+// fresh volume callback comes as a side effect. Objects in volumes with
+// missing or stale stamps become suspect and are validated individually on
+// demand or at the next hoard walk.
+func (v *Venus) validateOnReconnect() {
+	v.mu.Lock()
+	type batchEntry struct {
+		vc   *vclient
+		objs int
+	}
+	var pairs []wire.VolStampPair
+	var entries []batchEntry
+	for _, vc := range v.volumes {
+		cached := v.cache.inVolume(vc.info.ID)
+		if v.cfg.DisableVolumeCallbacks || !vc.hasStamp {
+			if !v.cfg.DisableVolumeCallbacks {
+				v.stats.MissingStamp++
+			}
+			for _, f := range cached {
+				if !f.dirty {
+					f.valid = false
+				}
+			}
+			continue
+		}
+		pairs = append(pairs, wire.VolStampPair{ID: vc.info.ID, Stamp: vc.stamp})
+		entries = append(entries, batchEntry{vc: vc, objs: len(cached)})
+	}
+	v.mu.Unlock()
+
+	if len(pairs) == 0 {
+		return
+	}
+	rep, err := wire.Call[wire.ValidateVolumesRep](v.node, v.cfg.Server,
+		wire.ValidateVolumes{Volumes: pairs}, rpc2.CallOpts{})
+	if err != nil {
+		// Validation will be retried on the next reconnection; treat
+		// everything as suspect meanwhile.
+		v.mu.Lock()
+		for _, e := range entries {
+			e.vc.hasStamp = false
+			for _, f := range v.cache.inVolume(e.vc.info.ID) {
+				if !f.dirty {
+					f.valid = false
+				}
+			}
+		}
+		v.mu.Unlock()
+		return
+	}
+
+	v.mu.Lock()
+	for i, e := range entries {
+		v.stats.VolValidations++
+		if rep.Valid[i] {
+			v.stats.VolValidationsOK++
+			v.stats.ObjsSavedByVolume += int64(e.objs)
+			// Volume callback reacquired as a side effect; every
+			// cached object from the volume is revalidated at once.
+			for _, f := range v.cache.inVolume(e.vc.info.ID) {
+				if !f.dirty {
+					f.valid = true
+				}
+			}
+		} else {
+			e.vc.hasStamp = false
+			for _, f := range v.cache.inVolume(e.vc.info.ID) {
+				if !f.dirty {
+					f.valid = false
+				}
+			}
+		}
+	}
+	v.mu.Unlock()
+}
+
+// handleServerCall services calls from the server — callback breaks.
+func (v *Venus) handleServerCall(src string, body []byte) ([]byte, error) {
+	msg, err := wire.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	brk, ok := msg.(wire.CallbackBreak)
+	if !ok {
+		return nil, fmt.Errorf("venus: unexpected server call %T", msg)
+	}
+	v.mu.Lock()
+	for _, fid := range brk.FIDs {
+		f := v.cache.get(fid)
+		if f == nil {
+			continue
+		}
+		if f.dirty {
+			// §4.3.2: an object awaiting reintegration was updated by
+			// a strongly-connected client. Consistent with optimism, the
+			// break is ignored; the conflict, if real, surfaces at
+			// reintegration.
+			continue
+		}
+		f.hasCallback = false
+		f.valid = false
+	}
+	for _, volID := range brk.Volumes {
+		vc := v.volByID[volID]
+		if vc == nil {
+			continue
+		}
+		vc.hasStamp = false
+		// Objects without individual callbacks were covered only by the
+		// volume callback; they become suspect. Those with object
+		// callbacks stay valid until their own break arrives (§4.2.2).
+		for _, f := range v.cache.inVolume(volID) {
+			if !f.hasCallback && !f.dirty {
+				f.valid = false
+			}
+		}
+	}
+	v.mu.Unlock()
+	return wire.Encode(wire.CallbackBreakRep{})
+}

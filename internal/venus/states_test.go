@@ -1,0 +1,126 @@
+package venus_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/venus"
+)
+
+// TestFigure2Transitions drives every edge of the paper's state diagram
+// and checks both the resulting states and the recorded transition counts.
+func TestFigure2Transitions(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"f": "x"})
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{AgingWindow: time.Second})
+		mustMount(t, v, "usr")
+
+		// Initial state: hoarding (strongly connected).
+		if v.State() != venus.Hoarding {
+			t.Fatalf("initial state = %v", v.State())
+		}
+
+		// hoarding → emulating (disconnection).
+		w.net.SetUp("c1", "server", false)
+		v.Disconnect()
+		if v.State() != venus.Emulating {
+			t.Fatalf("after disconnect = %v", v.State())
+		}
+
+		// emulating → write-disconnected (any connection, regardless of
+		// strength — here a weak one).
+		w.net.SetUp("c1", "server", true)
+		w.setLink("c1", wlModem())
+		v.Connect(9600)
+		if v.State() != venus.WriteDisconnected {
+			t.Fatalf("after weak reconnect = %v", v.State())
+		}
+
+		// write-disconnected → emulating (disconnection again).
+		w.net.SetUp("c1", "server", false)
+		v.Disconnect()
+		if v.State() != venus.Emulating {
+			t.Fatalf("after second disconnect = %v", v.State())
+		}
+
+		// emulating → write-disconnected → hoarding: strong reconnection
+		// with an empty CML; promotion happens via the trickle daemon
+		// only after all outstanding updates are reintegrated.
+		w.net.SetUp("c1", "server", true)
+		w.setLink("c1", wlEthernet())
+		v.WriteFile("/coda/usr/g", []byte("pending")) // logged while emulating
+		v.Connect(10_000_000)
+		if v.State() != venus.WriteDisconnected {
+			t.Fatalf("reconnect must land in write-disconnected, got %v", v.State())
+		}
+		w.sim.Sleep(30 * time.Second)
+		if v.State() != venus.Hoarding {
+			t.Fatalf("after drain on strong net = %v (CML %d)", v.State(), v.CMLRecords())
+		}
+
+		// hoarding → write-disconnected (bandwidth degrades; the demotion
+		// is driven by measured traffic).
+		w.setLink("c1", wlModem())
+		for i := 0; i < 12 && v.State() == venus.Hoarding; i++ {
+			v.WriteFile("/coda/usr/f", make([]byte, 16<<10))
+			w.sim.Sleep(20 * time.Second)
+		}
+		if v.State() != venus.WriteDisconnected {
+			t.Fatalf("no demotion on modem link: %v (bw %d)", v.State(), v.Bandwidth())
+		}
+
+		st := v.Stats()
+		for _, edge := range []string{
+			"hoarding->emulating",
+			"emulating->write-disconnected",
+			"write-disconnected->emulating",
+			"write-disconnected->hoarding",
+			"hoarding->write-disconnected",
+		} {
+			if st.Transitions[edge] == 0 {
+				t.Errorf("edge %q never taken: %v", edge, st.Transitions)
+			}
+		}
+	})
+}
+
+// TestNoDirectEmulatingToHoarding asserts the diagram's constraint: all
+// reconnections pass through write-disconnected, even on a LAN with an
+// empty CML.
+func TestNoDirectEmulatingToHoarding(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{})
+		mustMount(t, v, "usr")
+		v.Disconnect()
+		v.Connect(10_000_000)
+		st := v.Stats()
+		if st.Transitions["emulating->hoarding"] != 0 {
+			t.Error("illegal direct emulating→hoarding transition")
+		}
+		if st.Transitions["emulating->write-disconnected"] != 1 {
+			t.Errorf("transitions = %v", st.Transitions)
+		}
+	})
+}
+
+// Pinning (the Figure 12 methodology) must survive drains and strong links.
+func TestPinnedWriteDisconnectedNeverPromotes(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{AgingWindow: time.Second, PinWriteDisconnected: true})
+		mustMount(t, v, "usr")
+		v.WriteDisconnect()
+		v.WriteFile("/coda/usr/a", []byte("x"))
+		w.sim.Sleep(5 * time.Minute)
+		if v.CMLRecords() != 0 {
+			t.Error("CML not drained")
+		}
+		if v.State() != venus.WriteDisconnected {
+			t.Errorf("pinned client promoted to %v", v.State())
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package venus_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/venus"
+)
+
+func TestForceReintegrateSubtree(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{AgingWindow: time.Hour, PinWriteDisconnected: true})
+		mustMount(t, v, "usr")
+		v.WriteDisconnect()
+
+		// Pending updates in two independent subtrees.
+		if err := v.Mkdir("/coda/usr/thesis"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.WriteFile("/coda/usr/thesis/ch1.tex", []byte("chapter one")); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Mkdir("/coda/usr/scratch"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.WriteFile("/coda/usr/scratch/junk.tmp", []byte("junk")); err != nil {
+			t.Fatal(err)
+		}
+		before := v.CMLRecords()
+
+		// The collaborator is waiting for the thesis, not the scratch.
+		if err := v.ForceReintegrateSubtree("/coda/usr/thesis"); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := w.srv.ReadFile("usr", "thesis/ch1.tex"); err != nil || string(got) != "chapter one" {
+			t.Errorf("thesis not on server: %q, %v", got, err)
+		}
+		if _, err := w.srv.ReadFile("usr", "scratch/junk.tmp"); err == nil {
+			t.Error("unrelated subtree reintegrated too")
+		}
+		if after := v.CMLRecords(); after >= before {
+			t.Errorf("CML %d -> %d; subtree records should be gone", before, after)
+		}
+		if v.CMLRecords() == 0 {
+			t.Error("scratch records vanished from the CML")
+		}
+
+		// The rest still drains normally.
+		if err := v.ForceReintegrate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.srv.ReadFile("usr", "scratch/junk.tmp"); err != nil {
+			t.Errorf("scratch never made it: %v", err)
+		}
+	})
+}
+
+func TestForceReintegrateSubtreePullsAntecedents(t *testing.T) {
+	// The stored file's directory was itself created in the log; forcing
+	// just the file must ship the mkdir first (precedence closure).
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{AgingWindow: time.Hour, PinWriteDisconnected: true})
+		mustMount(t, v, "usr")
+		v.WriteDisconnect()
+		if err := v.Mkdir("/coda/usr/deep"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Mkdir("/coda/usr/deep/er"); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.WriteFile("/coda/usr/deep/er/file", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.ForceReintegrateSubtree("/coda/usr/deep/er/file"); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := w.srv.ReadFile("usr", "deep/er/file"); err != nil || string(got) != "x" {
+			t.Errorf("file = %q, %v (antecedent mkdirs must have shipped)", got, err)
+		}
+	})
+}
+
+func TestForceReintegrateSubtreeWhileDisconnected(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", nil)
+	w.sim.Run(func() {
+		v := w.venus("c1", venus.Config{})
+		mustMount(t, v, "usr")
+		v.Disconnect()
+		if err := v.ForceReintegrateSubtree("/coda/usr"); err != venus.ErrDisconnected {
+			t.Errorf("err = %v, want ErrDisconnected", err)
+		}
+	})
+}

@@ -1,0 +1,411 @@
+package venus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/delta"
+	"repro/internal/rpc2"
+	"repro/internal/wire"
+)
+
+// trickleDaemon is the periodic daemon of §4.3.3: it discovers CML records
+// older than the aging window and reintegrates them a chunk at a time,
+// deferring to foreground traffic between chunks.
+func (v *Venus) trickleDaemon() {
+	for {
+		v.clock.Sleep(v.cfg.TrickleInterval)
+		if v.isClosed() {
+			return
+		}
+		v.maybeDemote()
+		if v.State() != WriteDisconnected {
+			continue
+		}
+		// Defer to high-priority network use (§4.3.5): if a foreground
+		// fetch is in flight, skip this cycle.
+		if v.foregroundBusy() {
+			continue
+		}
+		v.trickleOnce(v.effectiveAging())
+		v.maybePromote()
+	}
+}
+
+// trickleOnce attempts one chunk per volume; it reports whether any chunk
+// was reintegrated.
+func (v *Venus) trickleOnce(age time.Duration) bool {
+	v.mu.Lock()
+	vols := v.volumeList()
+	v.mu.Unlock()
+	any := false
+	for _, vc := range vols {
+		if v.isClosed() {
+			return any
+		}
+		if v.reintegrateChunk(vc, age) {
+			any = true
+		}
+		// Between chunks, yield to foreground activity.
+		if v.foregroundBusy() {
+			return any
+		}
+	}
+	return any
+}
+
+// chunkSize computes C from the current bandwidth estimate: the amount of
+// data that occupies the network for about ChunkSeconds (§4.3.5 — 36 KB at
+// 9.6 Kb/s, 240 KB at 64 Kb/s, 7.7 MB at 2 Mb/s).
+func (v *Venus) chunkSize() int64 {
+	bw := v.peer.Bandwidth()
+	if bw <= 0 {
+		return 64 << 10
+	}
+	c := bw * int64(v.cfg.ChunkSeconds) / 8
+	if c < 4<<10 {
+		c = 4 << 10
+	}
+	return c
+}
+
+// reintegrateChunk ships one chunk from vc's CML. It returns true if a
+// chunk was committed.
+func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
+	c := v.chunkSize()
+	records := vc.log.BeginReintegration(age, c, v.clock.Now())
+	if records == nil {
+		return false
+	}
+
+	recs := make([]cml.Record, len(records))
+	for i, r := range records {
+		recs[i] = *r
+	}
+
+	// Ship differences instead of full contents where a server-known base
+	// exists and the delta is worthwhile (EnableDeltas, §4.1 future work).
+	var deltas map[int]delta.Delta
+	var deltaSaved int64
+	var deltaWire int64
+	if v.cfg.EnableDeltas {
+		v.mu.Lock()
+		for i := range recs {
+			if recs[i].Kind != cml.Store || recs[i].Data == nil {
+				continue
+			}
+			f := v.cache.get(recs[i].FID)
+			if f == nil || f.base == nil {
+				continue
+			}
+			d := delta.Compute(delta.Sign(f.base, 0), recs[i].Data)
+			if d.WireSize() >= int64(len(recs[i].Data))*3/4 {
+				continue // not worth it
+			}
+			if deltas == nil {
+				deltas = make(map[int]delta.Delta)
+			}
+			deltas[i] = d
+			deltaSaved += int64(len(recs[i].Data)) - d.WireSize()
+			deltaWire += d.WireSize()
+			recs[i].Data = nil
+		}
+		v.mu.Unlock()
+	}
+
+	// A chunk larger than C can only be a single store of a large file;
+	// ship its data as a series of resumable fragments of size ≤ C
+	// before the reintegration proper (§4.3.5).
+	var fragments map[int]uint64
+	if deltas == nil && len(recs) == 1 && recs[0].Kind == cml.Store && recs[0].Size() > c {
+		id := v.allocXfer()
+		data := recs[0].Data
+		if !v.shipFragments(id, data, c) {
+			vc.log.AbortReintegration()
+			v.bumpFailure()
+			return false
+		}
+		recs[0].Data = nil
+		fragments = map[int]uint64{0: id}
+	}
+
+	rep, err := wire.Call[wire.ReintegrateRep](v.node, v.cfg.Server, wire.Reintegrate{
+		Volume: vc.info.ID, Records: recs, Fragments: fragments, Deltas: deltas,
+	}, rpc2.CallOpts{Timeout: 30 * time.Minute})
+	if err != nil {
+		// Network or server failure: remove the barrier; every record
+		// is again eligible for optimization until the retry (§4.3.3).
+		vc.log.AbortReintegration()
+		v.bumpFailure()
+		return false
+	}
+
+	if rep.Applied {
+		var shippedBytes int64
+		for i, r := range records {
+			if _, viaDelta := deltas[i]; viaDelta {
+				continue // counted as wire size below
+			}
+			shippedBytes += r.Size()
+		}
+		shippedBytes += deltaWire
+		vc.log.CommitReintegration()
+		v.mu.Lock()
+		v.stats.Reintegrations++
+		v.stats.ShippedRecords += int64(len(records))
+		v.stats.ShippedBytes += shippedBytes
+		v.stats.DeltaStores += int64(len(deltas))
+		v.stats.DeltaSavedBytes += deltaSaved
+		vc.stamp = rep.VolStamp
+		for _, st := range rep.Statuses {
+			if f := v.cache.get(st.FID); f != nil {
+				f.obj.Status.Version = st.Version
+				// The server now holds our contents: the shadow base is
+				// obsolete (a future write re-shadows from current data).
+				f.base = nil
+			}
+		}
+		v.clearDrainedDirtyLocked(records)
+		v.mu.Unlock()
+		return true
+	}
+
+	// A failed delta (base mismatch) is not a conflict: drop the shadow
+	// base so the retry ships full contents.
+	deltaFailure := false
+	for i, res := range rep.Results {
+		if res.DeltaFailed {
+			deltaFailure = true
+			v.mu.Lock()
+			if f := v.cache.get(records[i].FID); f != nil {
+				f.base = nil
+			}
+			v.mu.Unlock()
+		}
+	}
+	if deltaFailure {
+		vc.log.AbortReintegration()
+		v.bumpFailure()
+		return false
+	}
+
+	// Conflicts: atomic failure. Drop the conflicting records (they are
+	// surfaced to the user, as after a disconnected session) and let the
+	// rest retry on the next cycle.
+	vc.log.AbortReintegration()
+	v.bumpFailure()
+	seqs := make(map[uint64]bool)
+	v.mu.Lock()
+	for i, res := range rep.Results {
+		if res.Conflict {
+			seqs[records[i].Seq] = true
+			v.conflicts = append(v.conflicts, Conflict{
+				Time: v.clock.Now(), Volume: vc.info.Name,
+				Kind: records[i].Kind, Path: records[i].Name, Msg: res.Msg,
+			})
+		}
+	}
+	v.mu.Unlock()
+	if len(seqs) > 0 {
+		vc.log.Remove(seqs)
+	}
+	return false
+}
+
+func (v *Venus) bumpFailure() {
+	v.mu.Lock()
+	v.stats.ReintegrationFailures++
+	v.mu.Unlock()
+}
+
+// shipFragments sends data as fragments of at most fragSize bytes,
+// resuming from wherever the server says it already has contiguous data.
+func (v *Venus) shipFragments(id uint64, data []byte, fragSize int64) bool {
+	total := int64(len(data))
+	var offset int64
+	for offset < total {
+		end := offset + fragSize
+		if end > total {
+			end = total
+		}
+		rep, err := wire.Call[wire.PutFragmentRep](v.node, v.cfg.Server, wire.PutFragment{
+			Transfer: id, Offset: offset, Total: total, Data: data[offset:end],
+		}, rpc2.CallOpts{Timeout: 30 * time.Minute})
+		if err != nil {
+			return false
+		}
+		offset = rep.Received
+		// Yield between fragments so a foreground fetch is not starved
+		// for more than one fragment's worth of time.
+		if v.foregroundBusy() {
+			v.clock.Sleep(time.Second)
+		}
+	}
+	return true
+}
+
+// clearDrainedDirtyLocked clears dirty flags for objects no CML record
+// references any more.
+func (v *Venus) clearDrainedDirtyLocked(shipped []*cml.Record) {
+	fids := make(map[codafs.FID]bool)
+	for _, r := range shipped {
+		fids[r.FID] = true
+		if !r.Parent.IsZero() {
+			fids[r.Parent] = true
+		}
+		if !r.NewParent.IsZero() {
+			fids[r.NewParent] = true
+		}
+	}
+	remaining := make(map[codafs.FID]bool)
+	for _, vc := range v.volumes {
+		for _, r := range vc.log.Records() {
+			remaining[r.FID] = true
+			if !r.Parent.IsZero() {
+				remaining[r.Parent] = true
+			}
+			if !r.NewParent.IsZero() {
+				remaining[r.NewParent] = true
+			}
+		}
+	}
+	for fid := range fids {
+		if remaining[fid] {
+			continue
+		}
+		if f := v.cache.get(fid); f != nil {
+			f.dirty = false
+		}
+	}
+}
+
+// ForceReintegrateSubtree immediately reintegrates the updates affecting
+// one directory subtree (or single object), without waiting for unrelated
+// records — the refinement §4.3.5 describes: "force immediate
+// reintegration of updates to a specific directory or subtree, without
+// waiting for propagation of other updates". The CML computes the
+// precedence closure so no record ships before its antecedents.
+func (v *Venus) ForceReintegrateSubtree(path string) error {
+	if v.State() == Emulating {
+		return ErrDisconnected
+	}
+	vc, f, err := v.resolve(path, false)
+	if err != nil {
+		return err
+	}
+
+	// Collect the FIDs in the subtree from the cache (local truth while
+	// disconnected or weakly connected).
+	v.mu.Lock()
+	members := map[codafs.FID]bool{f.obj.Status.FID: true}
+	if f.obj.Status.Type == codafs.Directory {
+		var walk func(fid codafs.FID, depth int)
+		walk = func(fid codafs.FID, depth int) {
+			if depth > 32 {
+				return
+			}
+			fo := v.cache.get(fid)
+			if fo == nil {
+				return
+			}
+			for _, child := range fo.obj.Children {
+				members[child] = true
+				walk(child, depth+1)
+			}
+		}
+		walk(f.obj.Status.FID, 0)
+	}
+	v.mu.Unlock()
+
+	records := vc.log.BeginSubtreeReintegration(func(r *cml.Record) bool {
+		return members[r.FID] || members[r.Parent] || members[r.NewParent]
+	})
+	if records == nil {
+		return nil // nothing pending for this subtree
+	}
+
+	recs := make([]cml.Record, len(records))
+	seqs := make(map[uint64]bool, len(records))
+	for i, r := range records {
+		recs[i] = *r
+		seqs[r.Seq] = true
+	}
+	rep, err := wire.Call[wire.ReintegrateRep](v.node, v.cfg.Server, wire.Reintegrate{
+		Volume: vc.info.ID, Records: recs,
+	}, rpc2.CallOpts{Timeout: 30 * time.Minute})
+	if err != nil {
+		vc.log.AbortReintegration()
+		v.bumpFailure()
+		return err
+	}
+	if !rep.Applied {
+		vc.log.AbortReintegration()
+		v.bumpFailure()
+		v.mu.Lock()
+		for i, res := range rep.Results {
+			if res.Conflict {
+				v.conflicts = append(v.conflicts, Conflict{
+					Time: v.clock.Now(), Volume: vc.info.Name,
+					Kind: records[i].Kind, Path: records[i].Name, Msg: res.Msg,
+				})
+			}
+		}
+		v.mu.Unlock()
+		return fmt.Errorf("venus: subtree reintegration of %s rejected by server", path)
+	}
+
+	var shippedBytes int64
+	for _, r := range records {
+		shippedBytes += r.Size()
+	}
+	vc.log.CommitSubtree(seqs)
+	v.mu.Lock()
+	v.stats.Reintegrations++
+	v.stats.ShippedRecords += int64(len(records))
+	v.stats.ShippedBytes += shippedBytes
+	vc.stamp = rep.VolStamp
+	for _, st := range rep.Statuses {
+		if fo := v.cache.get(st.FID); fo != nil {
+			fo.obj.Status.Version = st.Version
+		}
+	}
+	v.clearDrainedDirtyLocked(records)
+	v.mu.Unlock()
+	return nil
+}
+
+// ForceReintegrate drains every CML immediately, ignoring the aging window
+// — the user is about to hang up the phone or walk out of wireless range
+// (§4.3.2). It returns an error if records remain (network failure or
+// persistent conflicts).
+func (v *Venus) ForceReintegrate() error {
+	if v.State() == Emulating {
+		return ErrDisconnected
+	}
+	for pass := 0; pass < 1000; pass++ {
+		v.mu.Lock()
+		vols := v.volumeList()
+		v.mu.Unlock()
+		remaining := 0
+		progress := false
+		for _, vc := range vols {
+			for vc.log.Len() > 0 {
+				if !v.reintegrateChunk(vc, 0) {
+					break
+				}
+				progress = true
+			}
+			remaining += vc.log.Len()
+		}
+		if remaining == 0 {
+			v.maybePromote()
+			return nil
+		}
+		if !progress {
+			return fmt.Errorf("venus: %d CML records could not be reintegrated", remaining)
+		}
+	}
+	return fmt.Errorf("venus: reintegration did not converge")
+}

@@ -1,0 +1,293 @@
+// Package wire defines the typed messages of the Coda client↔server
+// protocol and their encoding. Every operation Venus performs against a
+// server — attribute fetches, data fetches, connected-mode mutations, batch
+// volume validation, reintegration, fragment shipping — and every call a
+// server makes back to a client (callback breaks) is a struct here, carried
+// as a gob-encoded body inside an rpc2 call.
+//
+// Message sizes are accounted by the network emulator from the actual
+// encoded bytes, so protocol overheads (e.g. the ~100-byte status blocks of
+// §4.4.1, the single-RPC batched volume validation of §4.2.1) are costed
+// realistically in the experiments.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/delta"
+	"repro/internal/rpc2"
+)
+
+// ---- Client → server requests ----
+
+// GetVolume resolves a volume by name.
+type GetVolume struct{ Name string }
+
+// GetVolumeRep returns the volume description and its root directory
+// status.
+type GetVolumeRep struct {
+	Info codafs.VolumeInfo
+	Root codafs.Status
+}
+
+// ListVolumes enumerates all volumes on the server.
+type ListVolumes struct{}
+
+// ListVolumesRep lists volume descriptions.
+type ListVolumesRep struct{ Infos []codafs.VolumeInfo }
+
+// GetAttr fetches an object's status. If WantCallback is set the server
+// establishes an object callback for the calling client.
+type GetAttr struct {
+	FID          codafs.FID
+	WantCallback bool
+}
+
+// GetAttrRep returns the status.
+type GetAttrRep struct{ Status codafs.Status }
+
+// Fetch retrieves a whole object (status plus contents/entries/target).
+type Fetch struct {
+	FID          codafs.FID
+	WantCallback bool
+}
+
+// FetchRep returns the object.
+type FetchRep struct{ Object codafs.Object }
+
+// StoreOp writes file contents in connected mode (write-through).
+type StoreOp struct {
+	FID         codafs.FID
+	Data        []byte
+	PrevVersion uint64
+}
+
+// SetAttrOp updates mode/modtime in connected mode.
+type SetAttrOp struct {
+	FID         codafs.FID
+	Mode        uint32
+	ModTime     time.Time
+	PrevVersion uint64
+}
+
+// MakeObject creates a file, directory, or symlink in connected mode. The
+// client chooses the FID from its preallocated space.
+type MakeObject struct {
+	Parent codafs.FID
+	Name   string
+	FID    codafs.FID
+	Type   codafs.ObjType
+	Target string
+	Mode   uint32
+	Owner  string
+}
+
+// MakeObjectRep returns the new object's and parent's statuses.
+type MakeObjectRep struct {
+	Status       codafs.Status
+	ParentStatus codafs.Status
+	VolStamp     uint64
+}
+
+// RemoveOp unlinks a file/symlink (or, with Rmdir set, an empty directory).
+type RemoveOp struct {
+	Parent codafs.FID
+	Name   string
+	FID    codafs.FID
+	Rmdir  bool
+}
+
+// RenameOp moves an object between names/directories.
+type RenameOp struct {
+	Parent    codafs.FID
+	Name      string
+	NewParent codafs.FID
+	NewName   string
+	FID       codafs.FID
+}
+
+// LinkOp adds a hard link to an existing file.
+type LinkOp struct {
+	Parent codafs.FID
+	Name   string
+	FID    codafs.FID
+}
+
+// MutateRep is the common reply to connected-mode mutations.
+type MutateRep struct {
+	Status       codafs.Status // the object's (or for removes, parent's) new status
+	ParentStatus codafs.Status
+	VolStamp     uint64
+}
+
+// VolStampPair names one volume and the stamp the client holds for it.
+type VolStampPair struct {
+	ID    codafs.VolumeID
+	Stamp uint64
+}
+
+// ValidateVolumes presents cached volume stamps for batch validation
+// (§4.2.1: multiple volumes validated in a single RPC). The server grants a
+// volume callback for each volume it reports valid.
+type ValidateVolumes struct{ Volumes []VolStampPair }
+
+// ValidateVolumesRep reports per-volume validity and current stamps.
+type ValidateVolumesRep struct {
+	Valid  []bool
+	Stamps []uint64
+}
+
+// FIDVersion names one object and the version the client holds for it.
+type FIDVersion struct {
+	FID     codafs.FID
+	Version uint64
+}
+
+// ValidateObjects validates a batch of individual cached objects — the
+// original, object-granularity coherence scheme that Figure 8 compares
+// volume callbacks against. The server grants object callbacks for the
+// objects it reports valid.
+type ValidateObjects struct{ Objects []FIDVersion }
+
+// ValidateObjectsRep reports per-object validity; Statuses carries the
+// current status for invalid (changed) objects so the client can refresh.
+type ValidateObjectsRep struct {
+	Valid    []bool
+	Statuses []codafs.Status // indexed like Objects; zero FID if removed
+}
+
+// GetVolumeStamp obtains a volume's current stamp and establishes a volume
+// callback (done at the end of a hoard walk, §4.2.2).
+type GetVolumeStamp struct{ Volume codafs.VolumeID }
+
+// GetVolumeStampRep returns the stamp.
+type GetVolumeStampRep struct{ Stamp uint64 }
+
+// Reintegrate replays a chunk of CML records atomically (§4.3.3). Records
+// whose Data was shipped separately as fragments reference their transfer
+// in Fragments (record index → fragment transfer ID).
+type Reintegrate struct {
+	Volume    codafs.VolumeID
+	Records   []cml.Record
+	Fragments map[int]uint64
+	// Deltas carries rsync-style differences for store records whose
+	// previous version the server holds (record index → delta); the
+	// record's Data is then omitted. See internal/delta.
+	Deltas map[int]delta.Delta
+}
+
+// RecordResult describes the fate of one reintegrated record.
+type RecordResult struct {
+	OK       bool
+	Conflict bool
+	// DeltaFailed: the store's delta did not apply against the server's
+	// copy (base mismatch); the client should retry with full contents.
+	DeltaFailed bool
+	Msg         string
+}
+
+// ReintegrateRep reports the outcome. Applied is false if any record
+// conflicted or failed, in which case no server state changed (atomicity).
+type ReintegrateRep struct {
+	Applied  bool
+	Results  []RecordResult
+	Statuses []codafs.Status // new statuses of every object touched (on success)
+	VolStamp uint64
+}
+
+// PutFragment ships one piece of a large file ahead of reintegration
+// (§4.3.5). The server holds fragments until the Reintegrate that
+// references them; transfers are resumable after the last received byte.
+type PutFragment struct {
+	Transfer uint64
+	Offset   int64
+	Total    int64
+	Data     []byte
+}
+
+// PutFragmentRep acknowledges contiguous receipt through Received bytes.
+type PutFragmentRep struct{ Received int64 }
+
+// ConnectClient registers the caller for callback-break delivery.
+type ConnectClient struct{}
+
+// ConnectClientRep acknowledges registration.
+type ConnectClientRep struct{ ServerTime time.Time }
+
+// ---- Server → client ----
+
+// CallbackBreak invalidates object and/or volume callbacks at a client.
+type CallbackBreak struct {
+	FIDs    []codafs.FID
+	Volumes []codafs.VolumeID
+}
+
+// CallbackBreakRep acknowledges the break.
+type CallbackBreakRep struct{}
+
+func init() {
+	for _, v := range []any{
+		GetVolume{}, GetVolumeRep{},
+		ListVolumes{}, ListVolumesRep{},
+		GetAttr{}, GetAttrRep{},
+		Fetch{}, FetchRep{},
+		StoreOp{}, SetAttrOp{}, MakeObject{}, MakeObjectRep{},
+		RemoveOp{}, RenameOp{}, LinkOp{}, MutateRep{},
+		ValidateVolumes{}, ValidateVolumesRep{},
+		ValidateObjects{}, ValidateObjectsRep{},
+		GetVolumeStamp{}, GetVolumeStampRep{},
+		Reintegrate{}, ReintegrateRep{},
+		PutFragment{}, PutFragmentRep{},
+		ConnectClient{}, ConnectClientRep{},
+		CallbackBreak{}, CallbackBreakRep{},
+	} {
+		gob.Register(v)
+	}
+}
+
+// Encode serializes any registered message.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	iv := v
+	if err := gob.NewEncoder(&buf).Encode(&iv); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a message produced by Encode.
+func Decode(b []byte) (any, error) {
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return v, nil
+}
+
+// Call performs a typed RPC: it encodes req, calls dst through n, and
+// decodes the reply as Rep.
+func Call[Rep any](n *rpc2.Node, dst string, req any, opts rpc2.CallOpts) (Rep, error) {
+	var zero Rep
+	body, err := Encode(req)
+	if err != nil {
+		return zero, err
+	}
+	repBytes, err := n.Call(dst, body, opts)
+	if err != nil {
+		return zero, err
+	}
+	v, err := Decode(repBytes)
+	if err != nil {
+		return zero, err
+	}
+	rep, ok := v.(Rep)
+	if !ok {
+		return zero, fmt.Errorf("wire: reply to %T is %T, want %T", req, v, zero)
+	}
+	return rep, nil
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/delta"
+)
+
+var sampleFID = codafs.FID{Volume: 3, Vnode: 14, Unique: 15}
+
+// every message type, with representative payloads.
+func sampleMessages() []any {
+	return []any{
+		GetVolume{Name: "usr"},
+		GetVolumeRep{Info: codafs.VolumeInfo{ID: 3, Name: "usr", Stamp: 42}, Root: codafs.Status{FID: sampleFID}},
+		ListVolumes{},
+		ListVolumesRep{Infos: []codafs.VolumeInfo{{ID: 1, Name: "a"}}},
+		GetAttr{FID: sampleFID, WantCallback: true},
+		GetAttrRep{Status: codafs.Status{FID: sampleFID, Length: 1234}},
+		Fetch{FID: sampleFID},
+		FetchRep{Object: codafs.Object{
+			Status:   codafs.Status{FID: sampleFID, Type: codafs.Directory},
+			Children: map[string]codafs.FID{"x": sampleFID},
+		}},
+		StoreOp{FID: sampleFID, Data: []byte("contents"), PrevVersion: 7},
+		SetAttrOp{FID: sampleFID, Mode: 0644},
+		MakeObject{Parent: sampleFID, Name: "f", FID: sampleFID, Type: codafs.File},
+		MakeObjectRep{Status: codafs.Status{FID: sampleFID}},
+		RemoveOp{Parent: sampleFID, Name: "f", FID: sampleFID, Rmdir: true},
+		RenameOp{Parent: sampleFID, Name: "a", NewParent: sampleFID, NewName: "b", FID: sampleFID},
+		LinkOp{Parent: sampleFID, Name: "l", FID: sampleFID},
+		MutateRep{Status: codafs.Status{FID: sampleFID}, VolStamp: 9},
+		ValidateVolumes{Volumes: []VolStampPair{{ID: 3, Stamp: 42}}},
+		ValidateVolumesRep{Valid: []bool{true}, Stamps: []uint64{42}},
+		ValidateObjects{Objects: []FIDVersion{{FID: sampleFID, Version: 5}}},
+		ValidateObjectsRep{Valid: []bool{false}, Statuses: []codafs.Status{{FID: sampleFID}}},
+		GetVolumeStamp{Volume: 3},
+		GetVolumeStampRep{Stamp: 43},
+		Reintegrate{
+			Volume:    3,
+			Records:   []cml.Record{{Kind: cml.Store, FID: sampleFID, Data: []byte("d"), Length: 1}},
+			Fragments: map[int]uint64{0: 9},
+			Deltas:    map[int]delta.Delta{0: delta.Compute(delta.Sign([]byte("base"), 0), []byte("base2"))},
+		},
+		ReintegrateRep{Applied: true, Results: []RecordResult{{OK: true}}, VolStamp: 44},
+		PutFragment{Transfer: 9, Offset: 0, Total: 10, Data: []byte("0123456789")},
+		PutFragmentRep{Received: 10},
+		ConnectClient{},
+		ConnectClientRep{},
+		CallbackBreak{FIDs: []codafs.FID{sampleFID}, Volumes: []codafs.VolumeID{3}},
+		CallbackBreakRep{},
+	}
+}
+
+func TestEncodeDecodeRoundTripAllTypes(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		buf, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", msg, err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", msg, err)
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(msg) {
+			t.Fatalf("round trip changed type: %T -> %T", msg, got)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			// gob normalizes empty maps/slices to nil; tolerate only
+			// that by re-encoding and comparing bytes.
+			buf2, err := Encode(got)
+			if err != nil || len(buf2) != len(buf) {
+				t.Errorf("%T: round trip not faithful:\n got %+v\nwant %+v", msg, got, msg)
+			}
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob at all")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode accepted empty input")
+	}
+}
+
+func TestStatusWireCostNearPaperFigure(t *testing.T) {
+	// §4.4.1: "status information is only about 100 bytes long". Our
+	// encoded GetAttr reply should be the same order of magnitude, so
+	// miss-handling cost estimates in the simulator stay faithful.
+	buf, err := Encode(GetAttrRep{Status: codafs.Status{
+		FID: sampleFID, Type: codafs.File, Length: 123456, Version: 789,
+		Mode: 0644, Owner: "hqb", Links: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > 400 {
+		t.Errorf("encoded status reply = %d bytes; paper's is ~100", len(buf))
+	}
+}
+
+func TestValidationBatchScalesSubLinearly(t *testing.T) {
+	// The point of batched validation (§4.2.1): per-volume wire cost must
+	// be tens of bytes, far below one RPC each.
+	small, _ := Encode(ValidateVolumes{Volumes: make([]VolStampPair, 1)})
+	big, _ := Encode(ValidateVolumes{Volumes: make([]VolStampPair, 100)})
+	perVolume := (len(big) - len(small)) / 99
+	if perVolume > 40 {
+		t.Errorf("per-volume validation cost = %d bytes, want ≤ 40", perVolume)
+	}
+}

@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race lint bench vet fmt clean
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -count=1 ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+lint:
+	$(GO) run ./cmd/codalint ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -109,7 +109,7 @@ status:     state | cml | cache | conflicts | stats
 		}
 		data, err := v.ReadFile(args[1])
 		fail(err)
-		os.Stdout.Write(data)
+		_, _ = os.Stdout.Write(data)
 		fmt.Println()
 	case "write":
 		if len(args) < 3 {

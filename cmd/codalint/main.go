@@ -1,0 +1,18 @@
+// Command codalint runs the repository's custom static-analysis suite:
+// simclock (virtual-clock discipline), lockguard (mutex discipline),
+// errwrap (error-wrapping discipline), and testhygiene (test-helper and
+// real-sleep checks). See internal/lint for the analyzers and README.md
+// for the allowlist and suppression policy.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

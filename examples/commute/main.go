@@ -25,9 +25,9 @@ func main() {
 	net.SetDefaults(netsim.Ethernet.Params())
 
 	srv := server.New(sim, net.Host("server"))
-	srv.CreateVolume("proj")
+	mustv(srv.CreateVolume("proj"))
 	for i := 0; i < 12; i++ {
-		srv.WriteFile("proj", fmt.Sprintf("src/venus/fso%d.c", i), make([]byte, 6_000))
+		mustv(srv.WriteFile("proj", fmt.Sprintf("src/venus/fso%d.c", i), make([]byte, 6_000)))
 	}
 
 	sim.Run(func() {
@@ -89,4 +89,10 @@ func must(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+// mustv is must for setup calls that also return a value the demo does
+// not need.
+func mustv[T any](_ T, err error) {
+	must(err)
 }

@@ -25,10 +25,10 @@ func main() {
 	net.SetDefaults(netsim.Modem.Params())
 
 	srv := server.New(sim, net.Host("server"))
-	srv.CreateVolume("misc")
-	srv.WriteFile("misc", "tex/macros/art10.sty", make([]byte, 2_000))
-	srv.WriteFile("misc", "emacs/bin/emacs", make([]byte, 2_500_000))
-	srv.WriteFile("misc", "weather/latest", make([]byte, 300))
+	mustv(srv.CreateVolume("misc"))
+	mustv(srv.WriteFile("misc", "tex/macros/art10.sty", make([]byte, 2_000)))
+	mustv(srv.WriteFile("misc", "emacs/bin/emacs", make([]byte, 2_500_000)))
+	mustv(srv.WriteFile("misc", "weather/latest", make([]byte, 300)))
 
 	sim.Run(func() {
 		v := venus.New(sim, net.Host("laptop"), venus.Config{
@@ -103,4 +103,10 @@ func must(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+// mustv is must for setup calls that also return a value the demo does
+// not need.
+func mustv[T any](_ T, err error) {
+	must(err)
 }

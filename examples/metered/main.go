@@ -28,10 +28,10 @@ func main() {
 	net.SetDefaults(netsim.Ethernet.Params())
 
 	srv := server.New(sim, net.Host("server"))
-	srv.CreateVolume("work")
+	mustv(srv.CreateVolume("work"))
 	report := bytes.Repeat([]byte("quarterly figures "), 8000) // ~144 KB
-	srv.WriteFile("work", "report.doc", report)
-	srv.WriteFile("work", "dataset.bin", make([]byte, 3<<20)) // 3 MB
+	mustv(srv.WriteFile("work", "report.doc", report))
+	mustv(srv.WriteFile("work", "dataset.bin", make([]byte, 3<<20))) // 3 MB
 
 	sim.Run(func() {
 		v := venus.New(sim, net.Host("phone"), venus.Config{
@@ -97,4 +97,10 @@ func must(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+// mustv is must for setup calls that also return a value the demo does
+// not need.
+func mustv[T any](_ T, err error) {
+	must(err)
 }

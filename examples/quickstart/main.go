@@ -24,8 +24,8 @@ func main() {
 	net.SetDefaults(netsim.Ethernet.Params())
 
 	srv := server.New(sim, net.Host("server"))
-	srv.CreateVolume("usr")
-	srv.WriteFile("usr", "papers/s15/s15.tex", []byte("\\title{Exploiting Weak Connectivity}\n"))
+	mustv(srv.CreateVolume("usr"))
+	mustv(srv.WriteFile("usr", "papers/s15/s15.tex", []byte("\\title{Exploiting Weak Connectivity}\n")))
 
 	sim.Run(func() {
 		v := venus.New(sim, net.Host("laptop"), venus.Config{
@@ -93,4 +93,10 @@ func must(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+// mustv is must for setup calls that also return a value the demo does
+// not need.
+func mustv[T any](_ T, err error) {
+	must(err)
 }

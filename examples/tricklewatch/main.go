@@ -26,7 +26,7 @@ func main() {
 	net.SetDefaults(netsim.Modem.Params())
 
 	srv := server.New(sim, net.Host("server"))
-	srv.CreateVolume("usr")
+	mustv(srv.CreateVolume("usr"))
 
 	sim.Run(func() {
 		v := venus.New(sim, net.Host("laptop"), venus.Config{
@@ -83,4 +83,10 @@ func must(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+// mustv is must for setup calls that also return a value the demo does
+// not need.
+func mustv[T any](_ T, err error) {
+	must(err)
 }

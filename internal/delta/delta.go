@@ -86,11 +86,11 @@ func (d *Delta) WireSize() int64 {
 func strongHash(data []byte) [16]byte {
 	var out [16]byte
 	h1 := fnv.New64a()
-	h1.Write(data)
+	_, _ = h1.Write(data)
 	binary.BigEndian.PutUint64(out[:8], h1.Sum64())
 	h2 := fnv.New64()
-	h2.Write([]byte{0x5a})
-	h2.Write(data)
+	_, _ = h2.Write([]byte{0x5a})
+	_, _ = h2.Write(data)
 	binary.BigEndian.PutUint64(out[8:], h2.Sum64())
 	return out
 }

@@ -22,8 +22,8 @@ func AblationDeltas(opts Options) AblationResult {
 
 	run := func(enable bool) float64 {
 		w := newWorld(opts.Seed + 71)
-		w.srv.CreateVolume("usr")
-		w.srv.WriteFile("usr", "report.doc", base)
+		w.mustVol("usr")
+		w.mustWrite("usr", "report.doc", base)
 		var shippedKB float64
 		w.sim.Run(func() {
 			v := w.venus("client", venus.Config{

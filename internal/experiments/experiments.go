@@ -64,6 +64,23 @@ func (w *world) setLink(client string, p netsim.Profile) {
 	w.net.SetLink(client, "server", p.Params())
 }
 
+// mustVol creates a volume during experiment setup. The sim is
+// deterministic, so a failure means the experiment itself is broken;
+// panicking beats silently regenerating a figure from a half-built
+// world.
+func (w *world) mustVol(name string) {
+	if _, err := w.srv.CreateVolume(name); err != nil {
+		panic(fmt.Sprintf("experiment setup: create volume %s: %v", name, err))
+	}
+}
+
+// mustWrite writes a server-side file during experiment setup.
+func (w *world) mustWrite(vol, relPath string, data []byte) {
+	if _, err := w.srv.WriteFile(vol, relPath, data); err != nil {
+		panic(fmt.Sprintf("experiment setup: write %s/%s: %v", vol, relPath, err))
+	}
+}
+
 // meanStd returns the mean and (population) standard deviation of xs.
 func meanStd(xs []float64) (mean, sd float64) {
 	if len(xs) == 0 {

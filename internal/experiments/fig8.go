@@ -76,13 +76,13 @@ func fig8Run(opts Options, prof Fig8Profile, scheme string) []Fig8Cell {
 
 	for vi := 0; vi < prof.Volumes; vi++ {
 		vol := fmt.Sprintf("%s-v%02d", prof.User, vi)
-		w.srv.CreateVolume(vol)
+		w.mustVol(vol)
 		for fi := 0; fi < perVol; fi++ {
 			size := int(prof.MeanKB * 1024 / 2)
 			if fi%2 == 0 {
 				size *= 3
 			}
-			w.srv.WriteFile(vol, fmt.Sprintf("d%d/f%03d", fi%4, fi), make([]byte, size))
+			w.mustWrite(vol, fmt.Sprintf("d%d/f%03d", fi%4, fi), make([]byte, size))
 		}
 	}
 

@@ -68,12 +68,12 @@ func Figure9(opts Options) Fig9Result {
 	vols := make([]volInfo, volumes)
 	for i := range vols {
 		name := fmt.Sprintf("vol%02d", i)
-		w.srv.CreateVolume(name)
+		w.mustVol(name)
 		// Volume sizes vary widely, as the paper's per-client
 		// objects-per-success column (5–171) reflects.
 		count := 5 + rng.Intn(filesPerVol*3)
 		for f := 0; f < count; f++ {
-			w.srv.WriteFile(name, fmt.Sprintf("d%d/f%03d", f%3, f), make([]byte, 2048+rng.Intn(8192)))
+			w.mustWrite(name, fmt.Sprintf("d%d/f%03d", f%3, f), make([]byte, 2048+rng.Intn(8192)))
 		}
 		vols[i] = volInfo{name: name, busy: rng.Float64() < 0.2, files: count}
 	}
@@ -104,7 +104,9 @@ func Figure9(opts Options) Fig9Result {
 			}
 			v.HoardAdd(codafs.JoinPath(vols[vi].name), 500, true)
 		}
-		v.HoardWalk()
+		if err := v.HoardWalk(); err != nil {
+			panic(fmt.Sprintf("fig9 prefetch walk: %v", err))
+		}
 
 		expHours := func(mean float64) time.Duration {
 			return time.Duration(crng.ExpFloat64() * mean * float64(time.Hour))
@@ -161,7 +163,7 @@ func Figure9(opts Options) Fig9Result {
 						return
 					}
 					f := urng.Intn(vi.files)
-					w.srv.WriteFile(vi.name, fmt.Sprintf("d%d/f%03d", f%3, f), make([]byte, 2048+urng.Intn(8192)))
+					w.mustWrite(vi.name, fmt.Sprintf("d%d/f%03d", f%3, f), make([]byte, 2048+urng.Intn(8192)))
 				}
 			})
 		}

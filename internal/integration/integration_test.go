@@ -367,6 +367,7 @@ func TestRealUDPRealClock(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("offline update never reintegrated over real UDP")
 		}
+		//codalint:ignore testhygiene polling a live UDP stack on the Real clock; no virtual time to drive
 		time.Sleep(50 * time.Millisecond)
 	}
 }

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the test into dir and restores the old wd on cleanup.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+const cleanMain = `package main
+
+func main() {}
+`
+
+// dirtyOps mimics a stray wall-clock read slipping into Venus's
+// operation layer — the exact regression the suite exists to catch.
+const dirtyOps = `package venus
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+
+// dirtyLock mimics an unguarded write slipping into a mu-owning struct.
+const dirtyLock = `package venus
+
+import "sync"
+
+type Registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *Registry) Bump() { r.n++ }
+
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n = 0
+}
+`
+
+func TestMainExitClean(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod":     "module faux\n\ngo 1.22\n",
+		"cmd/x/x.go": cleanMain,
+		"internal/ok/ok.go": `package ok
+
+func Add(a, b int) int { return a + b }
+`,
+	})
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := Main([]string{"./..."}, &out, &errb); code != ExitClean {
+		t.Fatalf("clean module: exit %d, stderr: %s stdout: %s", code, errb.String(), out.String())
+	}
+}
+
+func TestMainExitFindingsOnVenusTimeNow(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod":                "module faux\n\ngo 1.22\n",
+		"internal/venus/ops.go": dirtyOps,
+	})
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := Main([]string{"./..."}, &out, &errb); code != ExitFindings {
+		t.Fatalf("time.Now in internal/venus/ops.go: exit %d, want %d", code, ExitFindings)
+	}
+	if !strings.Contains(out.String(), "simclock") || !strings.Contains(out.String(), "time.Now") {
+		t.Fatalf("finding output missing simclock diagnostic: %s", out.String())
+	}
+}
+
+func TestMainExitFindingsOnUnguardedWrite(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod":                "module faux\n\ngo 1.22\n",
+		"internal/venus/reg.go": dirtyLock,
+	})
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := Main([]string{"./..."}, &out, &errb); code != ExitFindings {
+		t.Fatalf("unguarded write: exit %d, want %d", code, ExitFindings)
+	}
+	if !strings.Contains(out.String(), "lockguard") || !strings.Contains(out.String(), "Bump") {
+		t.Fatalf("finding output missing lockguard diagnostic: %s", out.String())
+	}
+}
+
+func TestMainExitUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main(nil, &out, &errb); code != ExitUsage {
+		t.Fatalf("no args: exit %d, want %d", code, ExitUsage)
+	}
+	if code := Main([]string{"-h"}, &out, &errb); code != ExitUsage {
+		t.Fatalf("-h: exit %d, want %d", code, ExitUsage)
+	}
+	if code := Main([]string{filepath.Join(t.TempDir(), "nope")}, &out, &errb); code != ExitUsage {
+		t.Fatalf("nonexistent dir: exit %d, want %d", code, ExitUsage)
+	}
+}
+
+func TestMainSpecificDirectory(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod":                "module faux\n\ngo 1.22\n",
+		"internal/venus/ops.go": dirtyOps,
+		"internal/ok/ok.go":     "package ok\n\nfunc F() {}\n",
+	})
+	var out, errb bytes.Buffer
+	if code := Main([]string{filepath.Join(root, "internal", "ok")}, &out, &errb); code != ExitClean {
+		t.Fatalf("lint of clean subpackage: exit %d, stderr %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{filepath.Join(root, "internal", "venus")}, &out, &errb); code != ExitFindings {
+		t.Fatalf("lint of dirty subpackage: exit %d, want %d", code, ExitFindings)
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Errwrap enforces the repository's error discipline:
+//
+//  1. fmt.Errorf that formats an error value must wrap it with %w (or
+//     the caller should return a sentinel), so callers can errors.Is/As
+//     across package boundaries instead of string-matching.
+//  2. An expression statement that silently discards an error-returning
+//     call is flagged; discard explicitly with `_ =` when the error is
+//     genuinely meaningless.
+//
+// Calls whose errors are discarded by universal convention (the
+// fmt.Print family, strings.Builder, bytes.Buffer) are exempt.
+type Errwrap struct{}
+
+// NewErrwrap returns the analyzer.
+func NewErrwrap() *Errwrap { return &Errwrap{} }
+
+// Name implements Analyzer.
+func (*Errwrap) Name() string { return "errwrap" }
+
+// Doc implements Analyzer.
+func (*Errwrap) Doc() string {
+	return "fmt.Errorf over an error must use %w; bare statements must not discard error returns"
+}
+
+// discardExempt lists callees whose error results are conventionally
+// ignored: terminal/report output (a failed diagnostic write is
+// untreatable) and hash writes (documented to never fail).
+var discardExempt = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+// discardExemptRecv lists receiver types whose methods' error results
+// are documented to always be nil. (Interface methods resolve to their
+// embedded declaration — hash.Hash.Write is (io.Writer).Write to
+// go/types — so only concrete never-fail types belong here.)
+var discardExemptRecv = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+}
+
+// Analyze implements Analyzer.
+func (e *Errwrap) Analyze(pkg *Package) []Finding {
+	var out []Finding
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	isError := func(t types.Type) bool {
+		return t != nil && types.Implements(t, errorType)
+	}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				out = append(out, e.checkErrorf(pkg, x, isError)...)
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					out = append(out, e.checkDiscard(pkg, call)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error argument
+// without %w.
+func (e *Errwrap) checkErrorf(pkg *Package, call *ast.CallExpr, isError func(types.Type) bool) []Finding {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := pkg.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return nil
+	}
+	for _, arg := range call.Args[1:] {
+		if tv, ok := pkg.TypesInfo.Types[arg]; ok && isError(tv.Type) {
+			return []Finding{{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: e.Name(),
+				Message:  "fmt.Errorf formats an error without %w; wrap it so callers can errors.Is/As across package boundaries",
+			}}
+		}
+	}
+	return nil
+}
+
+// checkDiscard flags a bare statement that drops an error result.
+func (e *Errwrap) checkDiscard(pkg *Package, call *ast.CallExpr) []Finding {
+	tv, ok := pkg.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	errorType := types.Universe.Lookup("error").Type()
+	returnsError := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				returnsError = true
+			}
+		}
+	default:
+		returnsError = types.Identical(t, errorType)
+	}
+	if !returnsError {
+		return nil
+	}
+	if fn := calleeFunc(pkg, call); fn != nil {
+		full := fn.FullName()
+		if discardExempt[full] {
+			return nil
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if discardExemptRecv[sig.Recv().Type().String()] {
+				return nil
+			}
+		}
+	}
+	return []Finding{{
+		Pos:      pkg.Fset.Position(call.Pos()),
+		Analyzer: e.Name(),
+		Message:  "error return discarded; handle it or discard explicitly with _ =",
+	}}
+}
+
+// calleeFunc resolves the called function or method, or nil for
+// indirect calls and conversions.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

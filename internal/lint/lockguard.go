@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockguard enforces the repository's lock-discipline convention: a
+// struct that owns a `mu sync.Mutex` (or RWMutex) field guards its
+// mutable sibling fields with it. Exported methods that read or write a
+// guarded field must acquire the lock — directly (mu.Lock/RLock) or by
+// calling an unexported sibling method that does (e.g. a lock() helper).
+//
+// A field counts as guarded when at least one method of the struct
+// writes it: fields assigned only in constructors are immutable
+// configuration (clocks, addresses, channels) and may be read freely.
+// Methods whose name ends in "Locked" follow the caller-holds-the-lock
+// convention and are exempt.
+type Lockguard struct{}
+
+// NewLockguard returns the analyzer.
+func NewLockguard() *Lockguard { return &Lockguard{} }
+
+// Name implements Analyzer.
+func (*Lockguard) Name() string { return "lockguard" }
+
+// Doc implements Analyzer.
+func (*Lockguard) Doc() string {
+	return "exported methods of mu-owning structs must hold mu when touching mutated sibling fields"
+}
+
+// guardedStruct is one struct type owning a mu field.
+type guardedStruct struct {
+	name    string
+	fields  map[string]bool // sibling field names (everything but mu)
+	mutated map[string]bool // fields written by at least one method
+	lockers map[string]bool // methods that directly acquire a mu
+	methods []*ast.FuncDecl
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// Analyze implements Analyzer.
+func (l *Lockguard) Analyze(pkg *Package) []Finding {
+	structs := l.collect(pkg)
+	if len(structs) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, gs := range structs {
+		for _, fn := range gs.methods {
+			if !ast.IsExported(fn.Name.Name) || strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			recv := receiverName(fn)
+			if recv == "" || fn.Body == nil {
+				continue
+			}
+			touched := touchedFields(fn, recv, gs.mutated)
+			if len(touched) == 0 {
+				continue
+			}
+			if acquiresLock(fn, recv, gs.lockers) {
+				continue
+			}
+			names := make([]string, 0, len(touched))
+			for f := range touched {
+				names = append(names, f)
+			}
+			sort.Strings(names)
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(fn.Name.Pos()),
+				Analyzer: l.Name(),
+				Message: fmt.Sprintf("%s.%s accesses guarded field(s) %s without holding mu",
+					gs.name, fn.Name.Name, strings.Join(names, ", ")),
+			})
+		}
+	}
+	return out
+}
+
+// collect finds every mu-owning struct in the package, its methods, the
+// fields those methods mutate, and which methods directly lock a mu.
+func (l *Lockguard) collect(pkg *Package) map[string]*guardedStruct {
+	structs := make(map[string]*guardedStruct)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var hasMu bool
+		fields := make(map[string]bool)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "mu" && isMutexType(f.Type()) {
+				hasMu = true
+				continue
+			}
+			fields[f.Name()] = true
+		}
+		if !hasMu {
+			continue
+		}
+		structs[name] = &guardedStruct{
+			name:    name,
+			fields:  fields,
+			mutated: make(map[string]bool),
+			lockers: make(map[string]bool),
+		}
+	}
+	if len(structs) == 0 {
+		return structs
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			gs, ok := structs[receiverTypeName(fn)]
+			if !ok {
+				continue
+			}
+			gs.methods = append(gs.methods, fn)
+			recv := receiverName(fn)
+			if recv == "" || fn.Body == nil {
+				continue
+			}
+			for f := range mutatedFields(fn, recv, gs.fields) {
+				gs.mutated[f] = true
+			}
+			if locksDirectly(fn) {
+				gs.lockers[fn.Name.Name] = true
+			}
+		}
+	}
+	return structs
+}
+
+// receiverTypeName unwraps the receiver type expression (pointer and
+// generic instantiations) to its base type name.
+func receiverTypeName(fn *ast.FuncDecl) string {
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// receiverName returns the receiver variable name, or "" when unnamed.
+func receiverName(fn *ast.FuncDecl) string {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}
+
+// baseField returns the first field selected off the receiver variable
+// in expr ("v.stats.Reintegrations" → "stats"), or "".
+func baseField(expr ast.Expr, recv string) string {
+	for {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			return sel.Sel.Name
+		}
+		expr = sel.X
+	}
+}
+
+// mutatedFields reports sibling fields the method writes (assignment,
+// ++/--), including inside closures.
+func mutatedFields(fn *ast.FuncDecl, recv string, siblings map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	note := func(expr ast.Expr) {
+		if f := baseField(expr, recv); f != "" && siblings[f] {
+			out[f] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				note(lhs)
+			}
+		case *ast.IncDecStmt:
+			note(x.X)
+		}
+		return true
+	})
+	return out
+}
+
+// touchedFields reports guarded sibling fields the method reads or
+// writes anywhere in its body.
+func touchedFields(fn *ast.FuncDecl, recv string, guarded map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv && guarded[sel.Sel.Name] {
+				out[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// locksDirectly reports whether the method body contains a
+// <...>.mu.Lock() or <...>.mu.RLock() call.
+func locksDirectly(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// acquiresLock reports whether the method locks mu directly or calls a
+// sibling method (on its own receiver) that does.
+func acquiresLock(fn *ast.FuncDecl, recv string, lockers map[string]bool) bool {
+	if locksDirectly(fn) {
+		return true
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockers[sel.Sel.Name] {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// Exit codes for the codalint CLI.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitUsage    = 2 // bad invocation or load failure
+)
+
+// Main is the codalint entry point, factored out of cmd/codalint so
+// tests can drive it in-process. Accepted arguments: a single `./...`
+// (lint the whole module around the working directory) or one or more
+// package directories inside a module.
+func Main(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return ExitUsage
+	}
+	for _, a := range args {
+		if a == "-h" || a == "--help" || a == "-help" {
+			usage(stderr)
+			return ExitUsage
+		}
+	}
+
+	var pkgs []*Package
+	if len(args) == 1 && (args[0] == "./..." || args[0] == "...") {
+		mod, err := LoadModule(".")
+		if err != nil {
+			fmt.Fprintf(stderr, "codalint: %v\n", err)
+			return ExitUsage
+		}
+		pkgs = mod.Packages
+	} else {
+		// Explicit directories: load each one's surrounding module once
+		// and select the packages whose directory matches.
+		mods := make(map[string]*Module)
+		for _, arg := range args {
+			abs, err := filepath.Abs(arg)
+			if err != nil {
+				fmt.Fprintf(stderr, "codalint: %v\n", err)
+				return ExitUsage
+			}
+			root, err := FindModuleRoot(abs)
+			if err != nil {
+				fmt.Fprintf(stderr, "codalint: %s: %v\n", arg, err)
+				return ExitUsage
+			}
+			mod, ok := mods[root]
+			if !ok {
+				mod, err = LoadModule(root)
+				if err != nil {
+					fmt.Fprintf(stderr, "codalint: %v\n", err)
+					return ExitUsage
+				}
+				mods[root] = mod
+			}
+			found := false
+			for _, p := range mod.Packages {
+				if p.Dir == abs {
+					pkgs = append(pkgs, p)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(stderr, "codalint: %s: no Go package\n", arg)
+				return ExitUsage
+			}
+		}
+	}
+
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "codalint: %d finding(s)\n", len(findings))
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: codalint ./...        lint every package in the module")
+	fmt.Fprintln(w, "       codalint DIR [DIR...] lint specific package directories")
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "analyzers:")
+	for _, a := range Analyzers() {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name(), a.Doc())
+	}
+	fmt.Fprintln(w, "")
+	fmt.Fprintf(w, "suppress with: %s <analyzer> <reason>\n", IgnoreDirective)
+}

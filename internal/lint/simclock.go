@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// forbiddenTime is the set of package time functions that read or block
+// on the real clock. Code outside the allowlist must route these
+// through a simtime.Clock so simulated runs stay deterministic.
+var forbiddenTime = map[string]string{
+	"Now":       "use the component's simtime.Clock.Now",
+	"Sleep":     "use the component's simtime.Clock.Sleep",
+	"After":     "use simtime.Clock.AfterFunc or a simtime.Queue",
+	"Tick":      "use simtime.Clock.AfterFunc",
+	"NewTimer":  "use simtime.Clock.AfterFunc",
+	"NewTicker": "use simtime.Clock.AfterFunc",
+	"AfterFunc": "use simtime.Clock.AfterFunc",
+	"Since":     "compute against simtime.Clock.Now",
+	"Until":     "compute against simtime.Clock.Now",
+}
+
+// forbiddenRand lists math/rand package-level functions that draw from
+// the global, non-deterministically seeded source. Explicit
+// rand.New(rand.NewSource(seed)) generators are fine.
+var forbiddenRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// Simclock forbids real-clock and global-randomness calls outside the
+// allowlist, enforcing that all simulated code takes a simtime.Clock.
+type Simclock struct {
+	// allow holds module-relative directory prefixes ("internal/simtime",
+	// "cmd") and file paths ("internal/netsim/udp.go") that may touch
+	// the real clock.
+	allow []string
+}
+
+// DefaultAllowlist is the repository policy: the clock veneer itself,
+// the real-UDP transport adapter, and live entry points under cmd/
+// (which construct the Real clock and may time their own wall-clock
+// runtime).
+func DefaultAllowlist() []string {
+	return []string{
+		"internal/simtime",
+		"internal/netsim/udp.go",
+		"cmd",
+	}
+}
+
+// NewSimclock returns the analyzer with the given allowlist.
+func NewSimclock(allow []string) *Simclock { return &Simclock{allow: allow} }
+
+// Name implements Analyzer.
+func (*Simclock) Name() string { return "simclock" }
+
+// Doc implements Analyzer.
+func (*Simclock) Doc() string {
+	return "forbids raw time.* clock calls and math/rand default-source calls outside the simtime allowlist"
+}
+
+// allowed reports whether relFile (module-relative path of the file) is
+// covered by the allowlist.
+func (s *Simclock) allowed(relFile string) bool {
+	for _, a := range s.allow {
+		if relFile == a || strings.HasPrefix(relFile, a+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze implements Analyzer. Only type-checked (non-test) files are
+// inspected; real-time use in tests is testhygiene's concern.
+func (s *Simclock) Analyze(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		pos := pkg.Fset.Position(file.Pos())
+		relFile := path.Join(pkg.RelDir, path.Base(pos.Filename))
+		if s.allowed(relFile) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods (time.Time.After, rand.Rand.Intn, ...) are fine:
+			// only package-level functions touch the real clock or the
+			// global random source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if hint, bad := forbiddenTime[fn.Name()]; bad {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(sel.Pos()),
+						Analyzer: s.Name(),
+						Message:  "time." + fn.Name() + " bypasses the virtual clock; " + hint,
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if forbiddenRand[fn.Name()] {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(sel.Pos()),
+						Analyzer: s.Name(),
+						Message:  "rand." + fn.Name() + " uses the global random source; use rand.New(rand.NewSource(seed)) so runs are reproducible",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Package errwrapfix exercises the errwrap analyzer.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errBase = errors.New("base")
+
+func wrapBad() error {
+	return fmt.Errorf("context: %v", errBase) // want "fmt.Errorf formats an error without %w"
+}
+
+func wrapBadString(err error) error {
+	return fmt.Errorf("op failed: %s", err) // want "fmt.Errorf formats an error without %w"
+}
+
+func wrapGood() error {
+	return fmt.Errorf("context: %w", errBase)
+}
+
+func newError(path string) error {
+	return fmt.Errorf("no error argument here: %s", path)
+}
+
+func discardBare() {
+	os.Remove("x") // want "error return discarded"
+}
+
+func discardTuple() {
+	os.Create("x") // want "error return discarded"
+}
+
+func discardExplicit() {
+	_ = os.Remove("x")
+}
+
+func handled() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func exemptCallees() {
+	fmt.Println("terminal output is exempt")
+	fmt.Printf("%d\n", 1)
+	var b strings.Builder
+	b.WriteString("never fails")
+}
+
+func deferredCleanup(f *os.File) {
+	defer f.Close() // deferred best-effort cleanup is not a bare discard
+}

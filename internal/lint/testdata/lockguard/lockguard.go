@@ -1,0 +1,59 @@
+// Package lockguardfix exercises the lockguard analyzer.
+package lockguardfix
+
+import "sync"
+
+// counter: n is mutated by a method, so it is guarded; name is only
+// read, so it is immutable configuration.
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	name string
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) N() int { // want "counter.N accesses guarded field(s) n without holding mu"
+	return c.n
+}
+
+func (c *counter) Name() string { return c.name }
+
+func (c *counter) DrainLocked() int { // Locked suffix: caller holds mu
+	return c.n
+}
+
+// gate: RWMutex, a lock() helper, and an RLock reader.
+type gate struct {
+	mu   sync.RWMutex
+	open bool
+}
+
+func (g *gate) lock() { g.mu.Lock() }
+
+func (g *gate) Open() bool { // acquires via the lock() helper
+	g.lock()
+	defer g.mu.Unlock()
+	return g.open
+}
+
+func (g *gate) Peek() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.open
+}
+
+func (g *gate) Set(v bool) { // want "gate.Set accesses guarded field(s) open without holding mu"
+	g.open = v
+}
+
+// plain has no mu: nothing is guarded.
+type plain struct {
+	n int
+}
+
+func (p *plain) Bump() { p.n++ }

@@ -1,0 +1,10 @@
+// Package allowedfix is loaded under an allowlisted RelDir; none of
+// these calls may be flagged.
+package allowedfix
+
+import "time"
+
+func realClock() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,45 @@
+// Package hygienefix exercises the testhygiene analyzer. These files
+// are fixtures: they are parsed by the analyzer tests, never run.
+package hygienefix
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEntry(t *testing.T) { // entry points never need t.Helper
+	if testing.Short() {
+		t.Fatal("x")
+	}
+}
+
+func BenchmarkEntry(b *testing.B) {
+	b.Fatal("x")
+}
+
+func helperBad(t *testing.T) { // want "test helper helperBad reports through t but never calls t.Helper()"
+	t.Fatal("boom")
+}
+
+func helperGood(t *testing.T) {
+	t.Helper()
+	t.Fatal("boom")
+}
+
+func helperTB(tb testing.TB) { // want "test helper helperTB reports through tb but never calls tb.Helper()"
+	tb.Errorf("boom %d", 1)
+}
+
+func helperNoReport(t *testing.T) bool { // never reports: no Helper needed
+	return t.Failed()
+}
+
+func sleeper(t *testing.T) {
+	t.Helper()
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in a test"
+	t.Error("woke up")
+}
+
+func simSleeper(d time.Duration) {
+	_ = d // a function without a testing param is out of scope
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Testhygiene checks *_test.go files. Because external test packages
+// cannot be type-checked without building the package under test, the
+// checks are syntactic:
+//
+//  1. A test helper — a non-Test function with a *testing.T /
+//     *testing.B / testing.TB parameter that calls a reporting method
+//     (Error, Fatal, Skip, ...) — must call t.Helper() so failures
+//     point at the caller.
+//  2. time.Sleep in tests is forbidden: tests run on a simtime.Sim
+//     clock, and real sleeps make them slow and flaky. (Tests of the
+//     Real clock itself carry an explicit suppression.)
+type Testhygiene struct{}
+
+// NewTesthygiene returns the analyzer.
+func NewTesthygiene() *Testhygiene { return &Testhygiene{} }
+
+// Name implements Analyzer.
+func (*Testhygiene) Name() string { return "testhygiene" }
+
+// Doc implements Analyzer.
+func (*Testhygiene) Doc() string {
+	return "test helpers must call t.Helper(); tests must not call real time.Sleep"
+}
+
+// reporting methods on testing.TB that justify t.Helper().
+var tbReporting = map[string]bool{
+	"Error": true, "Errorf": true, "Fatal": true, "Fatalf": true,
+	"Skip": true, "Skipf": true, "SkipNow": true, "FailNow": true,
+	"Fail": true,
+}
+
+// Analyze implements Analyzer.
+func (t *Testhygiene) Analyze(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.TestFiles {
+		timeName, timeImported := importName(file, "time")
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if timeImported {
+				out = append(out, t.checkSleep(pkg, fn, timeName)...)
+			}
+			out = append(out, t.checkHelper(pkg, fn)...)
+			return true
+		})
+	}
+	return out
+}
+
+// importName reports the local name under which path is imported.
+func importName(file *ast.File, path string) (string, bool) {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false // dot/blank imports: selector match impossible
+			}
+			return imp.Name.Name, true
+		}
+		return path[strings.LastIndex(path, "/")+1:], true
+	}
+	return "", false
+}
+
+// checkSleep flags time.Sleep calls inside fn.
+func (t *Testhygiene) checkSleep(pkg *Package, fn *ast.FuncDecl, timeName string) []Finding {
+	if fn.Body == nil {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName && id.Obj == nil {
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(call.Pos()),
+				Analyzer: t.Name(),
+				Message:  "time.Sleep in a test; drive a simtime.Sim clock instead of sleeping on the wall clock",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// testingParam returns the name of fn's *testing.T/*testing.B/testing.TB
+// parameter, or "".
+func testingParam(fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		t := field.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		sel, ok := t.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || pkgID.Name != "testing" {
+			continue
+		}
+		if sel.Sel.Name != "T" && sel.Sel.Name != "B" && sel.Sel.Name != "TB" {
+			continue
+		}
+		if len(field.Names) == 0 || field.Names[0].Name == "_" {
+			return ""
+		}
+		return field.Names[0].Name
+	}
+	return ""
+}
+
+// isTestEntry reports whether the function is a top-level Test,
+// Benchmark, Fuzz, or Example entry point (which must not call Helper).
+func isTestEntry(name string) bool {
+	return strings.HasPrefix(name, "Test") || strings.HasPrefix(name, "Benchmark") ||
+		strings.HasPrefix(name, "Fuzz") || strings.HasPrefix(name, "Example")
+}
+
+// checkHelper flags helpers that report through t but never call
+// t.Helper().
+func (t *Testhygiene) checkHelper(pkg *Package, fn *ast.FuncDecl) []Finding {
+	if fn.Body == nil || isTestEntry(fn.Name.Name) {
+		return nil
+	}
+	param := testingParam(fn)
+	if param == "" {
+		return nil
+	}
+	reports := false
+	callsHelper := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != param {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "Helper":
+			callsHelper = true
+		case tbReporting[sel.Sel.Name]:
+			reports = true
+		}
+		return true
+	})
+	if reports && !callsHelper {
+		return []Finding{{
+			Pos:      pkg.Fset.Position(fn.Name.Pos()),
+			Analyzer: t.Name(),
+			Message:  "test helper " + fn.Name.Name + " reports through " + param + " but never calls " + param + ".Helper()",
+		}}
+	}
+	return nil
+}

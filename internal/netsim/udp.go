@@ -8,6 +8,12 @@ import (
 // UDP adapts a real UDP socket to the PacketConn interface, so the full
 // client/server stack (rpc2, sftp, venus, server) runs unchanged over a
 // live network. Addresses are "host:port" strings.
+//
+// This file is the real-transport adapter on codalint's simclock
+// allowlist: it is the one place outside internal/simtime and cmd/
+// where wall-clock time may be read, because kernel socket deadlines
+// (SetReadDeadline) are necessarily real time. Everything above this
+// adapter blocks only through simtime.Clock.
 type UDP struct {
 	conn *net.UDPConn
 }

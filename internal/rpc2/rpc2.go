@@ -184,7 +184,7 @@ func (n *Node) Close() {
 		q.Close()
 	}
 	n.mu.Unlock()
-	n.conn.Close()
+	_ = n.conn.Close()
 }
 
 // Call sends body to dst and returns the peer handler's reply.
@@ -229,7 +229,7 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 	}
 
 	send := func() {
-		n.conn.Send(dst, encodePacket(kindReq, flags, seq, n.ticks(), 0, wireBody))
+		_ = n.conn.Send(dst, encodePacket(kindReq, flags, seq, n.ticks(), 0, wireBody))
 	}
 	send()
 
@@ -315,7 +315,7 @@ func (n *Node) Probe(dst string, timeout time.Duration) error {
 	deadline := n.clock.Now().Add(timeout)
 	rto := peer.RTO()
 	for {
-		n.conn.Send(dst, encodePacket(kindProbe, 0, seq, n.ticks(), 0, nil))
+		_ = n.conn.Send(dst, encodePacket(kindProbe, 0, seq, n.ticks(), 0, nil))
 		remain := deadline.Sub(n.clock.Now())
 		if remain <= 0 {
 			return fmt.Errorf("%w: probe %s", ErrTimeout, dst)
@@ -363,7 +363,7 @@ func (n *Node) recvLoop() {
 				q.Put(inbound{kind: kind, flags: flags, tsEcho: tsEcho, body: body, src: src})
 			}
 		case kindProbe:
-			n.conn.Send(src, encodePacket(kindProbeAck, 0, seq, n.ticks(), ts, nil))
+			_ = n.conn.Send(src, encodePacket(kindProbeAck, 0, seq, n.ticks(), ts, nil))
 		case kindProbeAck:
 			n.observeEcho(n.mon.Peer(src), tsEcho)
 			n.mu.Lock()
@@ -385,12 +385,12 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts uint32, body
 	}
 	if rep, done := pc.replies[seq]; done {
 		n.mu.Unlock()
-		n.conn.Send(src, encodePacket(kindRep, rep.flags, seq, n.ticks(), ts, rep.body))
+		_ = n.conn.Send(src, encodePacket(kindRep, rep.flags, seq, n.ticks(), ts, rep.body))
 		return
 	}
 	if pc.inProgress[seq] {
 		n.mu.Unlock()
-		n.conn.Send(src, encodePacket(kindBusy, 0, seq, n.ticks(), ts, nil))
+		_ = n.conn.Send(src, encodePacket(kindBusy, 0, seq, n.ticks(), ts, nil))
 		return
 	}
 	pc.inProgress[seq] = true
@@ -442,7 +442,7 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts uint32, body
 			pc.order = pc.order[1:]
 		}
 		n.mu.Unlock()
-		n.conn.Send(src, encodePacket(kindRep, repFlags, seq, n.ticks(), ts, wire))
+		_ = n.conn.Send(src, encodePacket(kindRep, repFlags, seq, n.ticks(), ts, wire))
 	})
 }
 

@@ -134,7 +134,7 @@ func (e *Engine) Send(dst string, id uint64, data []byte) error {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		e.send(dst, encodeData(id, i, total, uint64(len(data)), data[lo:hi]))
+		_ = e.send(dst, encodeData(id, i, total, uint64(len(data)), data[lo:hi]))
 	}
 	xmitFresh := func(i uint32) {
 		xmit(i)
@@ -302,7 +302,7 @@ func (e *Engine) deliverData(src string, payload []byte) {
 	if doneTotal, finished := e.completed[k]; finished {
 		// The sender missed our final ack; re-ack so it can finish.
 		e.mu.Unlock()
-		e.send(src, encodeAck(id, doneTotal, 0))
+		_ = e.send(src, encodeAck(id, doneTotal, 0))
 		return
 	}
 	t, ok := e.incoming[k]
@@ -348,12 +348,12 @@ func (e *Engine) deliverData(src string, payload []byte) {
 			e.done[k] = q
 		}
 		e.mu.Unlock()
-		e.send(src, encodeAck(id, cum, bitmap))
+		_ = e.send(src, encodeAck(id, cum, bitmap))
 		q.Put(assembled)
 		return
 	}
 	e.mu.Unlock()
-	e.send(src, encodeAck(id, cum, bitmap))
+	_ = e.send(src, encodeAck(id, cum, bitmap))
 }
 
 func (e *Engine) deliverAck(src string, payload []byte) {

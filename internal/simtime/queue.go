@@ -14,7 +14,8 @@ import (
 // parked in Get counts as quiescent, and GetTimeout deadlines are virtual.
 // Over a Real clock it behaves like an ordinary unbounded channel.
 type Queue[T any] struct {
-	s *Sim // nil when running on a Real clock
+	clock Clock
+	s     *Sim // non-nil when clock is a *Sim
 
 	mu      sync.Mutex // guards the fields below in Real mode; s.mu in Sim mode
 	items   []T
@@ -31,7 +32,7 @@ type qwaiter struct {
 
 // NewQueue returns a Queue bound to c.
 func NewQueue[T any](c Clock) *Queue[T] {
-	q := &Queue[T]{}
+	q := &Queue[T]{clock: c}
 	if s, ok := c.(*Sim); ok {
 		q.s = s
 	}
@@ -199,11 +200,14 @@ func (q *Queue[T]) get(timed bool, d time.Duration) (T, bool) {
 }
 
 // nowLocked reads the clock's current time; callers hold the queue lock.
+// In Sim mode the time is read directly from the Sim's state (its mutex
+// is already held); in Real mode it routes through the owning Clock so
+// the queue never touches package time itself.
 func (q *Queue[T]) nowLocked() time.Time {
 	if q.s != nil {
 		return q.s.now
 	}
-	return time.Now()
+	return q.clock.Now()
 }
 
 // armTimeoutLocked schedules a wakeup for w at deadline and returns a
@@ -225,7 +229,7 @@ func (q *Queue[T]) armTimeoutLocked(w *qwaiter, deadline time.Time) func() bool 
 			return ev.cancelLocked()
 		}
 	}
-	t := time.AfterFunc(time.Until(deadline), func() {
+	t := q.clock.AfterFunc(deadline.Sub(q.clock.Now()), func() {
 		q.mu.Lock()
 		defer q.mu.Unlock()
 		if !w.woken {

@@ -376,6 +376,7 @@ func TestRealQueueGetTimeout(t *testing.T) {
 		t.Error("real GetTimeout returned early")
 	}
 	go func() {
+		//codalint:ignore testhygiene exercising the Real clock needs a genuine wall-clock delay
 		time.Sleep(5 * time.Millisecond)
 		q.Put(9)
 	}()

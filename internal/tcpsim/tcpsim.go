@@ -101,7 +101,7 @@ func Send(clock simtime.Clock, conn netsim.PacketConn, dst string, streamID uint
 	)
 
 	transmit := func(i uint32, isRetx bool) {
-		conn.Send(dst, seg(i))
+		_ = conn.Send(dst, seg(i))
 		if isRetx {
 			if timedSeq >= 0 && int64(i) <= timedSeq {
 				timedSeq = -1
@@ -239,7 +239,7 @@ func Receive(clock simtime.Clock, conn netsim.PacketConn, streamID uint64, timeo
 		ackBuf[0] = tagAck
 		binary.BigEndian.PutUint64(ackBuf[1:], streamID)
 		binary.BigEndian.PutUint32(ackBuf[9:], cum)
-		conn.Send(src, ackBuf)
+		_ = conn.Send(src, ackBuf)
 
 		if haveMeta && cum >= total {
 			out := make([]byte, 0, int(total)*SegmentSize)
@@ -270,7 +270,7 @@ func Receive(clock simtime.Clock, conn netsim.PacketConn, streamID uint64, timeo
 					ackBuf[0] = tagAck
 					binary.BigEndian.PutUint64(ackBuf[1:], streamID)
 					binary.BigEndian.PutUint32(ackBuf[9:], finalTotal)
-					conn.Send(src, ackBuf)
+					_ = conn.Send(src, ackBuf)
 				}
 			})
 			return out, nil

@@ -9,16 +9,26 @@ import (
 )
 
 // Lockguard enforces the repository's lock-discipline convention: a
-// struct that owns a `mu sync.Mutex` (or RWMutex) field guards its
-// mutable sibling fields with it. Exported methods that read or write a
-// guarded field must acquire the lock — directly (mu.Lock/RLock) or by
-// calling an unexported sibling method that does (e.g. a lock() helper).
+// struct that owns mutex fields guards its mutable sibling fields with
+// them. Exported methods that read or write a guarded field must acquire
+// the field's guarding lock — directly (<lock>.Lock/RLock) or by calling
+// an unexported sibling method that does (e.g. a lock() helper).
+//
+// Mutex fields are recognized by name: `mu`, or any name ending in "Mu"
+// (clientsMu, fragMu). A struct with a single mutex guards every mutable
+// sibling with it. A struct with several mutexes is partitioned into
+// concurrency domains positionally — each non-mutex field is guarded by
+// the nearest mutex field declared above it, and fields declared before
+// the first mutex are unguarded configuration (clocks, connections,
+// atomics). This is the registry-of-domains pattern: a registry lock
+// over the lookup maps, with the located domain objects carrying their
+// own locks (server.Server and server.volume).
 //
 // A field counts as guarded when at least one method of the struct
-// writes it: fields assigned only in constructors are immutable
-// configuration (clocks, addresses, channels) and may be read freely.
-// Methods whose name ends in "Locked" follow the caller-holds-the-lock
-// convention and are exempt.
+// writes it (assignment, ++/--, or writing through a map index): fields
+// assigned only in constructors are immutable configuration and may be
+// read freely. Methods whose name ends in "Locked" follow the
+// caller-holds-the-lock convention and are exempt.
 type Lockguard struct{}
 
 // NewLockguard returns the analyzer.
@@ -29,15 +39,16 @@ func (*Lockguard) Name() string { return "lockguard" }
 
 // Doc implements Analyzer.
 func (*Lockguard) Doc() string {
-	return "exported methods of mu-owning structs must hold mu when touching mutated sibling fields"
+	return "exported methods of mutex-owning structs must hold the guarding mutex when touching mutated sibling fields"
 }
 
-// guardedStruct is one struct type owning a mu field.
+// guardedStruct is one struct type owning mutex fields.
 type guardedStruct struct {
 	name    string
-	fields  map[string]bool // sibling field names (everything but mu)
-	mutated map[string]bool // fields written by at least one method
-	lockers map[string]bool // methods that directly acquire a mu
+	locks   []string                   // mutex field names, declaration order
+	guardOf map[string]string          // sibling field → guarding lock ("" = unguarded)
+	mutated map[string]bool            // fields written by at least one method
+	lockers map[string]map[string]bool // method → locks it acquires directly
 	methods []*ast.FuncDecl
 }
 
@@ -52,6 +63,12 @@ func isMutexType(t types.Type) bool {
 		return false
 	}
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isMutexField reports whether the field follows the mutex naming
+// convention the analyzer enforces.
+func isMutexField(name string, t types.Type) bool {
+	return isMutexType(t) && (name == "mu" || strings.HasSuffix(name, "Mu"))
 }
 
 // Analyze implements Analyzer.
@@ -71,31 +88,48 @@ func (l *Lockguard) Analyze(pkg *Package) []Finding {
 			if recv == "" || fn.Body == nil {
 				continue
 			}
-			touched := touchedFields(fn, recv, gs.mutated)
+			guarded := make(map[string]bool, len(gs.mutated))
+			for f := range gs.mutated {
+				if gs.guardOf[f] != "" {
+					guarded[f] = true
+				}
+			}
+			touched := touchedFields(fn, recv, guarded)
 			if len(touched) == 0 {
 				continue
 			}
-			if acquiresLock(fn, recv, gs.lockers) {
-				continue
-			}
-			names := make([]string, 0, len(touched))
+			// Group the touched fields by their guarding lock; each lock
+			// the method fails to acquire is one finding.
+			byLock := make(map[string][]string)
 			for f := range touched {
-				names = append(names, f)
+				byLock[gs.guardOf[f]] = append(byLock[gs.guardOf[f]], f)
 			}
-			sort.Strings(names)
-			out = append(out, Finding{
-				Pos:      pkg.Fset.Position(fn.Name.Pos()),
-				Analyzer: l.Name(),
-				Message: fmt.Sprintf("%s.%s accesses guarded field(s) %s without holding mu",
-					gs.name, fn.Name.Name, strings.Join(names, ", ")),
-			})
+			locks := make([]string, 0, len(byLock))
+			for lock := range byLock {
+				locks = append(locks, lock)
+			}
+			sort.Strings(locks)
+			for _, lock := range locks {
+				if acquiresLock(fn, recv, lock, gs.lockers) {
+					continue
+				}
+				names := byLock[lock]
+				sort.Strings(names)
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(fn.Name.Pos()),
+					Analyzer: l.Name(),
+					Message: fmt.Sprintf("%s.%s accesses guarded field(s) %s without holding %s",
+						gs.name, fn.Name.Name, strings.Join(names, ", "), lock),
+				})
+			}
 		}
 	}
 	return out
 }
 
-// collect finds every mu-owning struct in the package, its methods, the
-// fields those methods mutate, and which methods directly lock a mu.
+// collect finds every mutex-owning struct in the package, partitions its
+// fields into lock domains, and records its methods, the fields those
+// methods mutate, and which locks each method acquires directly.
 func (l *Lockguard) collect(pkg *Package) map[string]*guardedStruct {
 	structs := make(map[string]*guardedStruct)
 	scope := pkg.Types.Scope()
@@ -108,25 +142,34 @@ func (l *Lockguard) collect(pkg *Package) map[string]*guardedStruct {
 		if !ok {
 			continue
 		}
-		var hasMu bool
-		fields := make(map[string]bool)
+		gs := &guardedStruct{
+			name:    name,
+			guardOf: make(map[string]string),
+			mutated: make(map[string]bool),
+			lockers: make(map[string]map[string]bool),
+		}
+		current := "" // nearest preceding mutex field
 		for i := 0; i < st.NumFields(); i++ {
 			f := st.Field(i)
-			if f.Name() == "mu" && isMutexType(f.Type()) {
-				hasMu = true
+			if isMutexField(f.Name(), f.Type()) {
+				gs.locks = append(gs.locks, f.Name())
+				current = f.Name()
 				continue
 			}
-			fields[f.Name()] = true
+			gs.guardOf[f.Name()] = current
 		}
-		if !hasMu {
+		if len(gs.locks) == 0 {
 			continue
 		}
-		structs[name] = &guardedStruct{
-			name:    name,
-			fields:  fields,
-			mutated: make(map[string]bool),
-			lockers: make(map[string]bool),
+		if len(gs.locks) == 1 {
+			// A single mutex guards every sibling wherever it is declared
+			// (the long-standing convention; position is style, not
+			// semantics, until a second domain appears).
+			for f := range gs.guardOf {
+				gs.guardOf[f] = gs.locks[0]
+			}
 		}
+		structs[name] = gs
 	}
 	if len(structs) == 0 {
 		return structs
@@ -147,11 +190,11 @@ func (l *Lockguard) collect(pkg *Package) map[string]*guardedStruct {
 			if recv == "" || fn.Body == nil {
 				continue
 			}
-			for f := range mutatedFields(fn, recv, gs.fields) {
+			for f := range mutatedFields(fn, recv, gs.guardOf) {
 				gs.mutated[f] = true
 			}
-			if locksDirectly(fn) {
-				gs.lockers[fn.Name.Name] = true
+			if locked := directLocks(fn, gs.locks); len(locked) > 0 {
+				gs.lockers[fn.Name.Name] = locked
 			}
 		}
 	}
@@ -188,27 +231,34 @@ func receiverName(fn *ast.FuncDecl) string {
 }
 
 // baseField returns the first field selected off the receiver variable
-// in expr ("v.stats.Reintegrations" → "stats"), or "".
+// in expr ("v.stats.Reintegrations" → "stats", "s.frags[k]" → "frags"),
+// or "".
 func baseField(expr ast.Expr, recv string) string {
 	for {
-		sel, ok := expr.(*ast.SelectorExpr)
-		if !ok {
+		switch x := expr.(type) {
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == recv {
+				return x.Sel.Name
+			}
+			expr = x.X
+		default:
 			return ""
 		}
-		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
-			return sel.Sel.Name
-		}
-		expr = sel.X
 	}
 }
 
 // mutatedFields reports sibling fields the method writes (assignment,
-// ++/--), including inside closures.
-func mutatedFields(fn *ast.FuncDecl, recv string, siblings map[string]bool) map[string]bool {
+// ++/--, including through a map or slice index), including inside
+// closures.
+func mutatedFields(fn *ast.FuncDecl, recv string, siblings map[string]string) map[string]bool {
 	out := make(map[string]bool)
 	note := func(expr ast.Expr) {
-		if f := baseField(expr, recv); f != "" && siblings[f] {
-			out[f] = true
+		if f := baseField(expr, recv); f != "" {
+			if _, sibling := siblings[f]; sibling {
+				out[f] = true
+			}
 		}
 	}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -240,10 +290,14 @@ func touchedFields(fn *ast.FuncDecl, recv string, guarded map[string]bool) map[s
 	return out
 }
 
-// locksDirectly reports whether the method body contains a
-// <...>.mu.Lock() or <...>.mu.RLock() call.
-func locksDirectly(fn *ast.FuncDecl) bool {
-	found := false
+// directLocks reports which of the struct's locks the method body
+// acquires via <...>.<lock>.Lock() or <...>.<lock>.RLock().
+func directLocks(fn *ast.FuncDecl, locks []string) map[string]bool {
+	names := make(map[string]bool, len(locks))
+	for _, l := range locks {
+		names[l] = true
+	}
+	out := make(map[string]bool)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -253,19 +307,18 @@ func locksDirectly(fn *ast.FuncDecl) bool {
 		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
 			return true
 		}
-		if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" {
-			found = true
-			return false
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok && names[inner.Sel.Name] {
+			out[inner.Sel.Name] = true
 		}
 		return true
 	})
-	return found
+	return out
 }
 
-// acquiresLock reports whether the method locks mu directly or calls a
-// sibling method (on its own receiver) that does.
-func acquiresLock(fn *ast.FuncDecl, recv string, lockers map[string]bool) bool {
-	if locksDirectly(fn) {
+// acquiresLock reports whether the method acquires the named lock
+// directly or calls a sibling method (on its own receiver) that does.
+func acquiresLock(fn *ast.FuncDecl, recv, lock string, lockers map[string]map[string]bool) bool {
+	if directLocks(fn, []string{lock})[lock] {
 		return true
 	}
 	found := false
@@ -275,7 +328,7 @@ func acquiresLock(fn *ast.FuncDecl, recv string, lockers map[string]bool) bool {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !lockers[sel.Sel.Name] {
+		if !ok || !lockers[sel.Sel.Name][lock] {
 			return true
 		}
 		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {

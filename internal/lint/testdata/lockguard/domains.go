@@ -1,0 +1,84 @@
+package lockguardfix
+
+import "sync"
+
+// shard exercises positional multi-mutex partitioning: name is unguarded
+// configuration (declared before any mutex), index belongs to mu's
+// domain, hits to statsMu's.
+type shard struct {
+	name string
+
+	mu    sync.Mutex
+	index map[string]int
+
+	statsMu sync.Mutex
+	hits    int
+}
+
+func (s *shard) insert(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index[k] = v
+}
+
+// Put is clean: it mutates index via a sibling helper that locks mu.
+func (s *shard) Put(k string, v int) {
+	s.insert(k, v)
+}
+
+// Mark is clean: hits is guarded by statsMu, which it holds.
+func (s *shard) Mark() {
+	s.statsMu.Lock()
+	s.hits++
+	s.statsMu.Unlock()
+}
+
+// Hit holds mu, but hits lives in statsMu's domain — holding the wrong
+// domain's lock is exactly the bug this analyzer exists to catch.
+func (s *shard) Hit() int { // want "shard.Hit accesses guarded field(s) hits without holding statsMu"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.hits
+}
+
+// Name is clean: name precedes the first mutex, so it is unguarded
+// configuration.
+func (s *shard) Name() string {
+	return s.name
+}
+
+// domain is a sub-locked object located through a registry, mirroring
+// server.volume.
+type domain struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (d *domain) Bump() {
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+}
+
+func (d *domain) Peek() int { // want "domain.Peek accesses guarded field(s) n without holding mu"
+	return d.n
+}
+
+// registry holds sub-locked domains behind its own lock, mirroring
+// server.Server's volume table. Writing through the map index is a
+// mutation of the guarded map.
+type registry struct {
+	mu      sync.Mutex
+	domains map[string]*domain
+}
+
+func (r *registry) Get(name string) *domain {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.domains[name]
+}
+
+func (r *registry) Grow(name string) { // want "registry.Grow accesses guarded field(s) domains without holding mu"
+	r.domains[name] = &domain{}
+}

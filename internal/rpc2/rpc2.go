@@ -67,6 +67,16 @@ const (
 	sftpAwaitSlack = 5 * time.Minute
 )
 
+// Reply-cache bounds. Beyond the per-peer entry cap, whole peer caches are
+// reclaimed once netmon stops hearing from the peer: a host silent for
+// replyCacheTTL cannot still be retransmitting a request, so at-most-once
+// execution is preserved while long-lived nodes stop accumulating state
+// for every peer that ever called.
+const (
+	replyCacheTTL      = time.Hour
+	replySweepInterval = 5 * time.Minute
+)
+
 // Errors.
 var (
 	// ErrTimeout reports that the peer never answered.
@@ -151,7 +161,39 @@ func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, h
 		return conn.Send(dst, append([]byte{kindSFTP}, payload...))
 	})
 	clock.Go(n.recvLoop)
+	clock.Go(n.sweepReplyCache)
 	return n
+}
+
+// sweepReplyCache drops peer caches for hosts netmon has not heard from
+// within replyCacheTTL. Caches with a request still executing are kept:
+// the reply must be recorded even if the client has vanished.
+func (n *Node) sweepReplyCache() {
+	for {
+		n.clock.Sleep(replySweepInterval)
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		for src, pc := range n.replyCache {
+			if len(pc.inProgress) > 0 {
+				continue
+			}
+			if !n.mon.Peer(src).Alive(replyCacheTTL) {
+				delete(n.replyCache, src)
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// ReplyCacheSize reports how many peers currently have cached replies
+// (observability for the eviction policy).
+func (n *Node) ReplyCacheSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.replyCache)
 }
 
 // Addr returns the node's own address.

@@ -84,7 +84,7 @@ func refreshDirLen(o *codafs.Object) {
 // PrevVersion must match the server's current version, or the current
 // version must itself be the reintegrating client's own earlier work
 // (storeid rule), since its later records were logged against local state.
-func (s *Server) versionOK(a *applyCtx, fid codafs.FID, prev uint64, client string) bool {
+func versionOK(a *applyCtx, fid codafs.FID, prev uint64, client string) bool {
 	base, ok := a.v.objects[fid]
 	if !ok {
 		// Object created inside this same overlay: trivially current.
@@ -96,9 +96,10 @@ func (s *Server) versionOK(a *applyCtx, fid codafs.FID, prev uint64, client stri
 	return a.v.lastAuthor[fid] == client
 }
 
-// applyRecord validates rec against the overlay and applies it. Must be
-// called with s.mu held.
-func (s *Server) applyRecord(a *applyCtx, rec *cml.Record, client string) wire.RecordResult {
+// applyRecord validates rec against the overlay and applies it. The whole
+// apply pipeline runs inside one volume's domain: the caller holds a.v.mu
+// and nothing else.
+func applyRecord(a *applyCtx, rec *cml.Record, client string) wire.RecordResult {
 	switch rec.Kind {
 	case cml.Store:
 		o, ok := a.get(rec.FID)
@@ -108,7 +109,7 @@ func (s *Server) applyRecord(a *applyCtx, rec *cml.Record, client string) wire.R
 		if o.Status.Type != codafs.File {
 			return failure("store %s: not a file", rec.FID)
 		}
-		if !s.versionOK(a, rec.FID, rec.PrevVersion, client) {
+		if !versionOK(a, rec.FID, rec.PrevVersion, client) {
 			return conflict("store %s: update/update conflict", rec.FID)
 		}
 		o.Data = append([]byte(nil), rec.Data...)
@@ -122,7 +123,7 @@ func (s *Server) applyRecord(a *applyCtx, rec *cml.Record, client string) wire.R
 		if !ok {
 			return conflict("setattr %s: object removed on server", rec.FID)
 		}
-		if !s.versionOK(a, rec.FID, rec.PrevVersion, client) {
+		if !versionOK(a, rec.FID, rec.PrevVersion, client) {
 			return conflict("setattr %s: update/update conflict", rec.FID)
 		}
 		if rec.Mode != 0 {
@@ -227,7 +228,7 @@ func (s *Server) applyRecord(a *applyCtx, rec *cml.Record, client string) wire.R
 		// Removing an object another client has since updated is a
 		// remove/update conflict (optimistic replica control). A zero
 		// PrevVersion (server-side administrative removes) skips the check.
-		if rec.PrevVersion != 0 && !s.versionOK(a, fid, rec.PrevVersion, client) {
+		if rec.PrevVersion != 0 && !versionOK(a, fid, rec.PrevVersion, client) {
 			return conflict("remove %q: object updated on server (remove/update conflict)", rec.Name)
 		}
 		delete(parent.Children, rec.Name)
@@ -306,8 +307,9 @@ func (s *Server) applyRecord(a *applyCtx, rec *cml.Record, client string) wire.R
 
 // commitApply installs the overlay into the volume, bumping versions and
 // the volume stamp, and returns the new statuses of every touched object
-// plus the callback breaks to deliver. Must be called with s.mu held.
-func (s *Server) commitApply(a *applyCtx, client string) (statuses []codafs.Status, stamp uint64, breaks []breakWork) {
+// plus the callback breaks to deliver (after a.v.mu is released). Must be
+// called with a.v.mu held.
+func commitApply(a *applyCtx, client string) (statuses []codafs.Status, stamp uint64, breaks []breakWork) {
 	seen := make(map[codafs.FID]bool)
 	for _, fid := range a.touched {
 		if seen[fid] {
@@ -315,7 +317,7 @@ func (s *Server) commitApply(a *applyCtx, client string) (statuses []codafs.Stat
 		}
 		seen[fid] = true
 
-		breaks = append(breaks, s.collectBreaksLocked(a.v, fid, client))
+		breaks = append(breaks, a.v.collectBreaksLocked(fid, client))
 		if a.deleted[fid] {
 			delete(a.v.objects, fid)
 			delete(a.v.lastAuthor, fid)
@@ -333,7 +335,7 @@ func (s *Server) commitApply(a *applyCtx, client string) (statuses []codafs.Stat
 			}
 		}
 		a.v.objects[fid] = obj
-		s.bumpLocked(a.v, fid, client)
+		a.v.bumpLocked(fid, client)
 		statuses = append(statuses, obj.Status)
 	}
 	return statuses, a.v.info.Stamp, breaks

@@ -12,21 +12,23 @@ import (
 // handle dispatches one incoming RPC. Connected-mode mutations and
 // reintegration share the applyCtx machinery, so conflict semantics are
 // identical whichever path an update takes to the server.
+//
+// Each handler resolves its request to a volume under the registry lock,
+// then executes entirely inside that volume's domain, so requests for
+// distinct volumes proceed in parallel under rpc2's concurrent dispatch.
 func (s *Server) handle(src string, body []byte) ([]byte, error) {
 	v, err := wire.Decode(body)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.stats.Calls++
-	s.mu.Unlock()
+	s.stats.calls.Add(1)
 
 	var rep any
 	switch req := v.(type) {
 	case wire.ConnectClient:
-		s.mu.Lock()
+		s.clientsMu.Lock()
 		s.clients[src] = true
-		s.mu.Unlock()
+		s.clientsMu.Unlock()
 		rep = wire.ConnectClientRep{ServerTime: s.clock.Now()}
 
 	case wire.GetVolume:
@@ -89,147 +91,136 @@ func (s *Server) handle(src string, body []byte) ([]byte, error) {
 }
 
 func (s *Server) getVolume(req wire.GetVolume) (wire.GetVolumeRep, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id, ok := s.byName[req.Name]
+	v, ok := s.volByName(req.Name)
 	if !ok {
 		return wire.GetVolumeRep{}, fmt.Errorf("no volume %q", req.Name)
 	}
-	v := s.volumes[id]
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	return wire.GetVolumeRep{Info: v.info, Root: v.objects[v.root].Status}, nil
 }
 
 func (s *Server) listVolumes() wire.ListVolumesRep {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var rep wire.ListVolumesRep
-	for _, v := range s.volumes {
+	// Ascending ID order: one volume lock at a time, and the reply is
+	// deterministic (the registry map's range order is not).
+	for _, v := range s.volumesByID() {
+		v.mu.Lock()
 		rep.Infos = append(rep.Infos, v.info)
+		v.mu.Unlock()
 	}
 	return rep
 }
 
 func (s *Server) getAttr(src string, req wire.GetAttr) (wire.GetAttrRep, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, o, err := s.lookupLocked(req.FID)
-	if err != nil {
-		return wire.GetAttrRep{}, err
+	v, ok := s.volByID(req.FID.Volume)
+	if !ok {
+		return wire.GetAttrRep{}, fmt.Errorf("no volume %d", req.FID.Volume)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	o, ok := v.objects[req.FID]
+	if !ok {
+		return wire.GetAttrRep{}, fmt.Errorf("no object %s", req.FID)
 	}
 	if req.WantCallback {
-		s.registerObjCallbackLocked(v, req.FID, src)
+		v.registerObjCallbackLocked(req.FID, src)
 	}
 	return wire.GetAttrRep{Status: o.Status}, nil
 }
 
 func (s *Server) fetch(src string, req wire.Fetch) (wire.FetchRep, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, o, err := s.lookupLocked(req.FID)
-	if err != nil {
-		return wire.FetchRep{}, err
+	v, ok := s.volByID(req.FID.Volume)
+	if !ok {
+		return wire.FetchRep{}, fmt.Errorf("no volume %d", req.FID.Volume)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	o, ok := v.objects[req.FID]
+	if !ok {
+		return wire.FetchRep{}, fmt.Errorf("no object %s", req.FID)
 	}
 	if req.WantCallback {
-		s.registerObjCallbackLocked(v, req.FID, src)
+		v.registerObjCallbackLocked(req.FID, src)
 	}
 	return wire.FetchRep{Object: *o.Clone()}, nil
 }
 
 func (s *Server) validateVolumes(src string, req wire.ValidateVolumes) wire.ValidateVolumesRep {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	rep := wire.ValidateVolumesRep{
 		Valid:  make([]bool, len(req.Volumes)),
 		Stamps: make([]uint64, len(req.Volumes)),
 	}
 	for i, pair := range req.Volumes {
-		v, ok := s.volumes[pair.ID]
+		v, ok := s.volByID(pair.ID)
 		if !ok {
 			continue
 		}
+		v.mu.Lock()
 		rep.Stamps[i] = v.info.Stamp
 		if v.info.Stamp == pair.Stamp {
 			rep.Valid[i] = true
 			v.volCallbacks[src] = true // granted as a side effect (§4.2.2)
 		}
+		v.mu.Unlock()
 	}
 	return rep
 }
 
 func (s *Server) validateObjects(src string, req wire.ValidateObjects) wire.ValidateObjectsRep {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	rep := wire.ValidateObjectsRep{
 		Valid:    make([]bool, len(req.Objects)),
 		Statuses: make([]codafs.Status, len(req.Objects)),
 	}
 	for i, fv := range req.Objects {
-		v, ok := s.volumes[fv.FID.Volume]
+		v, ok := s.volByID(fv.FID.Volume)
 		if !ok {
 			continue
 		}
+		v.mu.Lock()
 		o, ok := v.objects[fv.FID]
 		if !ok {
+			v.mu.Unlock()
 			continue // removed: zero status signals the client to drop it
 		}
 		rep.Statuses[i] = o.Status
 		if o.Status.Version == fv.Version {
 			rep.Valid[i] = true
-			s.registerObjCallbackLocked(v, fv.FID, src)
+			v.registerObjCallbackLocked(fv.FID, src)
 		}
+		v.mu.Unlock()
 	}
 	return rep
 }
 
 func (s *Server) getVolumeStamp(src string, req wire.GetVolumeStamp) (wire.GetVolumeStampRep, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.volumes[req.Volume]
+	v, ok := s.volByID(req.Volume)
 	if !ok {
 		return wire.GetVolumeStampRep{}, fmt.Errorf("no volume %d", req.Volume)
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	v.volCallbacks[src] = true
 	return wire.GetVolumeStampRep{Stamp: v.info.Stamp}, nil
-}
-
-func (s *Server) lookupLocked(fid codafs.FID) (*volume, *codafs.Object, error) {
-	v, ok := s.volumes[fid.Volume]
-	if !ok {
-		return nil, nil, fmt.Errorf("no volume %d", fid.Volume)
-	}
-	o, ok := v.objects[fid]
-	if !ok {
-		return nil, nil, fmt.Errorf("no object %s", fid)
-	}
-	return v, o, nil
-}
-
-func (s *Server) registerObjCallbackLocked(v *volume, fid codafs.FID, client string) {
-	cbs := v.objCallbacks[fid]
-	if cbs == nil {
-		cbs = make(map[string]bool)
-		v.objCallbacks[fid] = cbs
-	}
-	cbs[client] = true
 }
 
 // mutate runs one connected-mode update through the shared apply machinery.
 // repFID selects which touched object's status is returned as Status.
 func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.MutateRep, error) {
-	s.mu.Lock()
-	v, ok := s.volumes[rec.FID.Volume]
+	v, ok := s.volByID(rec.FID.Volume)
 	if !ok {
-		s.mu.Unlock()
 		return wire.MutateRep{}, fmt.Errorf("no volume %d", rec.FID.Volume)
 	}
+	v.mu.Lock()
 	a := newApply(v)
-	res := s.applyRecord(a, &rec, src)
+	res := applyRecord(a, &rec, src)
 	if !res.OK {
-		s.mu.Unlock()
+		v.mu.Unlock()
 		return wire.MutateRep{}, fmt.Errorf("%s", res.Msg)
 	}
-	statuses, stamp, breaks := s.commitApply(a, src)
-	s.stats.RecordsApplied++
+	statuses, stamp, breaks := commitApply(a, src)
+	v.mu.Unlock()
+	s.stats.recordsApplied.Add(1)
 	rep := wire.MutateRep{VolStamp: stamp}
 	for _, st := range statuses {
 		if st.FID == repFID {
@@ -239,7 +230,6 @@ func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.Mut
 			rep.ParentStatus = st
 		}
 	}
-	s.mu.Unlock()
 	s.dispatchBreaks(breaks)
 	return rep, nil
 }
@@ -268,14 +258,15 @@ func (s *Server) makeObject(src string, req wire.MakeObject) (wire.MakeObjectRep
 }
 
 func (s *Server) putFragment(src string, req wire.PutFragment) (wire.PutFragmentRep, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fragMu.Lock()
+	defer s.fragMu.Unlock()
 	k := fragKey{client: src, transfer: req.Transfer}
 	fb := s.frags[k]
 	if fb == nil {
 		fb = &fragBuf{total: req.Total}
 		s.frags[k] = fb
 	}
+	fb.lastActive = s.clock.Now()
 	have := int64(len(fb.data))
 	switch {
 	case req.Offset < have:
@@ -289,34 +280,42 @@ func (s *Server) putFragment(src string, req wire.PutFragment) (wire.PutFragment
 }
 
 func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.ReintegrateRep, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.volumes[req.Volume]
+	v, ok := s.volByID(req.Volume)
 	if !ok {
 		return wire.ReintegrateRep{}, fmt.Errorf("no volume %d", req.Volume)
 	}
-	s.stats.Reintegrations++
+	s.stats.reintegrations.Add(1)
 
-	// Attach fragment data. The server does not logically attempt
-	// reintegration until whole files have arrived (§4.3.5).
+	// Attach fragment data under the fragment lock, before entering the
+	// volume domain (fragMu and volume locks never nest). The server does
+	// not logically attempt reintegration until whole files have arrived
+	// (§4.3.5). Attached slices are capped at their completed length, so
+	// a concurrent resend appending to the same buffer reallocates rather
+	// than aliasing the data being applied.
 	recs := make([]cml.Record, len(req.Records))
 	copy(recs, req.Records)
 	var usedFrags []fragKey
+	s.fragMu.Lock()
 	for idx, tid := range req.Fragments {
 		if idx < 0 || idx >= len(recs) {
+			s.fragMu.Unlock()
 			return wire.ReintegrateRep{}, fmt.Errorf("fragment index %d out of range", idx)
 		}
 		k := fragKey{client: src, transfer: tid}
 		fb := s.frags[k]
 		if fb == nil || int64(len(fb.data)) != fb.total {
+			s.fragMu.Unlock()
 			return wire.ReintegrateRep{}, fmt.Errorf("fragment transfer %d incomplete", tid)
 		}
-		recs[idx].Data = fb.data
+		recs[idx].Data = fb.data[:fb.total:fb.total]
 		recs[idx].Length = fb.total
 		usedFrags = append(usedFrags, k)
 	}
+	s.fragMu.Unlock()
 
 	rep := wire.ReintegrateRep{Results: make([]wire.RecordResult, len(recs))}
+
+	v.mu.Lock()
 
 	// Reconstruct delta-shipped stores against the server's current
 	// contents (§4.1's "ship file differences" enhancement). A base
@@ -324,20 +323,23 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 	// contents.
 	for idx, dd := range req.Deltas {
 		if idx < 0 || idx >= len(recs) || recs[idx].Kind != cml.Store {
+			v.mu.Unlock()
 			return wire.ReintegrateRep{}, fmt.Errorf("delta index %d invalid", idx)
 		}
 		obj, ok := v.objects[recs[idx].FID]
 		if !ok {
 			rep.Results[idx] = wire.RecordResult{Conflict: true, Msg: "delta store: object removed on server"}
 			rep.VolStamp = v.info.Stamp
-			s.stats.ReintegrationFails++
+			v.mu.Unlock()
+			s.stats.reintegrationFails.Add(1)
 			return rep, nil
 		}
 		newData, err := delta.Apply(obj.Data, dd)
 		if err != nil {
 			rep.Results[idx] = wire.RecordResult{DeltaFailed: true, Msg: err.Error()}
 			rep.VolStamp = v.info.Stamp
-			s.stats.ReintegrationFails++
+			v.mu.Unlock()
+			s.stats.reintegrationFails.Add(1)
 			return rep, nil
 		}
 		recs[idx].Data = newData
@@ -351,34 +353,38 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 			rep.Results[i] = wire.RecordResult{Msg: "not attempted"}
 			continue
 		}
-		res := s.applyRecord(a, &recs[i], src)
+		res := applyRecord(a, &recs[i], src)
 		rep.Results[i] = res
 		if !res.OK {
 			ok = false
 			if res.Conflict {
-				s.stats.Conflicts++
+				s.stats.conflicts.Add(1)
 			}
 		}
 	}
 	if !ok {
 		// Atomicity: nothing applied, overlay dropped, fragments kept
 		// so a retry need not reship them.
-		s.stats.ReintegrationFails++
 		rep.VolStamp = v.info.Stamp
+		v.mu.Unlock()
+		s.stats.reintegrationFails.Add(1)
 		return rep, nil
 	}
-	statuses, stamp, breaks := s.commitApply(a, src)
-	s.stats.RecordsApplied += int64(len(recs))
+	statuses, stamp, breaks := commitApply(a, src)
+	v.mu.Unlock()
+
+	s.stats.recordsApplied.Add(int64(len(recs)))
+	s.fragMu.Lock()
 	for _, k := range usedFrags {
 		delete(s.frags, k)
 	}
+	s.fragMu.Unlock()
+
 	rep.Applied = true
 	rep.Statuses = statuses
 	rep.VolStamp = stamp
 
-	// Deliver breaks without holding the lock for the network part.
-	s.mu.Unlock()
+	// Breaks go out with no lock held at all.
 	s.dispatchBreaks(breaks)
-	s.mu.Lock() // re-acquire for the deferred unlock
 	return rep, nil
 }

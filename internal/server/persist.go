@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/codafs"
 )
@@ -31,23 +32,56 @@ type serverImage struct {
 	NextVolID codafs.VolumeID
 }
 
-// SaveState writes all volumes to w.
+// fidLess orders FIDs for byte-stable snapshots.
+func fidLess(a, b codafs.FID) bool {
+	if a.Volume != b.Volume {
+		return a.Volume < b.Volume
+	}
+	if a.Vnode != b.Vnode {
+		return a.Vnode < b.Vnode
+	}
+	return a.Unique < b.Unique
+}
+
+// SaveState writes all volumes to w. It acquires the registry lock, then
+// every volume lock in ascending ID order — the canonical lock order, so a
+// snapshot cannot deadlock against handlers or a concurrent SaveState —
+// copies the images, and releases everything before encoding. The image is
+// therefore a consistent point-in-time cut across all volumes, and volumes
+// and objects are emitted in sorted order so identical states produce
+// identical bytes.
 func (s *Server) SaveState(w io.Writer) error {
 	s.mu.Lock()
-	img := serverImage{NextVolID: s.nextVolID}
+	vols := make([]*volume, 0, len(s.volumes))
 	for _, v := range s.volumes {
+		vols = append(vols, v)
+	}
+	sort.Slice(vols, func(i, j int) bool { return vols[i].id() < vols[j].id() })
+	for _, v := range vols {
+		v.mu.Lock()
+	}
+	img := serverImage{NextVolID: s.nextVolID}
+	s.mu.Unlock()
+
+	for _, v := range vols {
 		vi := volumeImage{
 			Info:       v.info,
 			Root:       v.root,
 			NextVnode:  v.nextVnode,
-			LastAuthor: v.lastAuthor,
+			LastAuthor: make(map[codafs.FID]string, len(v.lastAuthor)),
+		}
+		for fid, who := range v.lastAuthor {
+			vi.LastAuthor[fid] = who
 		}
 		for _, o := range v.objects {
 			vi.Objects = append(vi.Objects, *o.Clone())
 		}
+		v.mu.Unlock()
+		sort.Slice(vi.Objects, func(i, j int) bool {
+			return fidLess(vi.Objects[i].Status.FID, vi.Objects[j].Status.FID)
+		})
 		img.Volumes = append(img.Volumes, vi)
 	}
-	s.mu.Unlock()
 	if err := gob.NewEncoder(w).Encode(img); err != nil {
 		return fmt.Errorf("server: save state: %w", err)
 	}

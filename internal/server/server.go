@@ -14,12 +14,24 @@
 // (§4.3.5); the server assembles them and only then lets the Reintegrate
 // that references them proceed, the reverse of the strong-connectivity
 // ordering, exactly as the paper argues.
+//
+// Concurrency model: the volume is the locking unit, matching §4.3.3's
+// observation that reintegration is applied per-volume. Each volume is an
+// independent concurrency domain behind its own mutex; the Server itself
+// only serializes the narrow shared structures around the domains — the
+// volume registry, the connected-client table, and the fragment buffers —
+// each behind its own lock. The lock hierarchy is registry → volume, never
+// reversed; when several volume locks are needed at once (persistence
+// snapshots) they are taken in ascending volume-ID order. RPCs are never
+// issued while holding any server lock. See DESIGN.md §8.
 package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codafs"
 	"repro/internal/netmon"
@@ -29,20 +41,63 @@ import (
 	"repro/internal/wire"
 )
 
+// Maintenance policy. The sweeper bounds state that remote peers can
+// abandon: fragment buffers from transfers that died mid-shipment and
+// table entries for clients that will never call again.
+const (
+	// sweepInterval is how often the maintenance sweep runs.
+	sweepInterval = 5 * time.Minute
+	// fragTTL is how long a fragment buffer survives without the client
+	// appending to it. Weakly-connected clients legitimately pause
+	// mid-transfer (disconnections, foreground deference), so this is
+	// generous; a client that outlives it restarts from offset zero.
+	fragTTL = 6 * time.Hour
+	// clientTTL evicts connected-client entries for peers netmon has not
+	// heard from. Callback registrations are deliberately untouched: a
+	// silent client may merely be disconnected, and its promises are
+	// reclaimed object-by-object as updates break them.
+	clientTTL = 6 * time.Hour
+)
+
 // Server is one Coda file server.
 type Server struct {
 	clock simtime.Clock
 	node  *rpc2.Node
 
+	stats   counters      // atomics: bumped from any domain without a lock
+	stopped chan struct{} // closed by Close; stops the maintenance sweep
+	closer  sync.Once
+
+	// mu guards the volume registry — the maps locating a volume domain
+	// and the ID allocator — and nothing inside the domains themselves.
+	// Lock order: mu before any volume.mu; never acquire mu while holding
+	// a volume lock.
 	mu        sync.Mutex
 	volumes   map[codafs.VolumeID]*volume
 	byName    map[string]codafs.VolumeID
 	nextVolID codafs.VolumeID
-	clients   map[string]bool
-	frags     map[fragKey]*fragBuf
-	stats     Stats
 
-	breaksSent atomic.Int64 // outside mu: bumped while breaks dispatch
+	// clientsMu guards the connected-client table. Not nested with any
+	// other server lock.
+	clientsMu sync.Mutex
+	clients   map[string]bool
+
+	// fragMu guards the resumable fragment buffers (§4.3.5). Not nested
+	// with any other server lock.
+	fragMu sync.Mutex
+	frags  map[fragKey]*fragBuf
+}
+
+// counters holds the activity counters behind Stats. All fields are
+// atomics so any handler, in any volume domain, may bump them without
+// synchronizing with the others.
+type counters struct {
+	calls              atomic.Int64
+	reintegrations     atomic.Int64
+	reintegrationFails atomic.Int64
+	recordsApplied     atomic.Int64
+	conflicts          atomic.Int64
+	breaksSent         atomic.Int64
 }
 
 // Stats counts server activity, for tests and experiments.
@@ -55,7 +110,11 @@ type Stats struct {
 	BreaksSent         int64
 }
 
+// volume is one concurrency domain: every piece of per-volume state —
+// objects, version stamps, authorship, and callback registrations — lives
+// behind its mu, so operations on distinct volumes never contend.
 type volume struct {
+	mu        sync.Mutex
 	info      codafs.VolumeInfo
 	root      codafs.FID
 	objects   map[codafs.FID]*codafs.Object
@@ -76,20 +135,23 @@ type fragKey struct {
 }
 
 type fragBuf struct {
-	total int64
-	data  []byte
+	total      int64
+	data       []byte
+	lastActive time.Time // last append, for the TTL sweep
 }
 
 // New creates a server listening on conn.
 func New(clock simtime.Clock, conn netsim.PacketConn) *Server {
 	s := &Server{
 		clock:   clock,
+		stopped: make(chan struct{}),
 		volumes: make(map[codafs.VolumeID]*volume),
 		byName:  make(map[string]codafs.VolumeID),
 		clients: make(map[string]bool),
 		frags:   make(map[fragKey]*fragBuf),
 	}
 	s.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), s.handle)
+	clock.Go(s.sweepLoop)
 	return s
 }
 
@@ -101,15 +163,119 @@ func (s *Server) Node() *rpc2.Node { return s.node }
 
 // Stats returns a snapshot of activity counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.BreaksSent = s.breaksSent.Load()
-	return st
+	return Stats{
+		Calls:              s.stats.calls.Load(),
+		Reintegrations:     s.stats.reintegrations.Load(),
+		ReintegrationFails: s.stats.reintegrationFails.Load(),
+		RecordsApplied:     s.stats.recordsApplied.Load(),
+		Conflicts:          s.stats.conflicts.Load(),
+		BreaksSent:         s.stats.breaksSent.Load(),
+	}
+}
+
+// ClientCount returns the number of clients in the connected table.
+func (s *Server) ClientCount() int {
+	s.clientsMu.Lock()
+	defer s.clientsMu.Unlock()
+	return len(s.clients)
+}
+
+// FragmentCount returns the number of live fragment buffers.
+func (s *Server) FragmentCount() int {
+	s.fragMu.Lock()
+	defer s.fragMu.Unlock()
+	return len(s.frags)
 }
 
 // Close shuts the server down.
-func (s *Server) Close() { s.node.Close() }
+func (s *Server) Close() {
+	s.closer.Do(func() { close(s.stopped) })
+	s.node.Close()
+}
+
+// ---- Registry access ----
+
+// volByID resolves a volume domain under the registry lock.
+func (s *Server) volByID(id codafs.VolumeID) (*volume, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[id]
+	return v, ok
+}
+
+// volByName resolves a volume domain by name under the registry lock.
+func (s *Server) volByName(name string) (*volume, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return s.volumes[id], true
+}
+
+// volumesByID snapshots the registry in ascending volume-ID order — the
+// canonical order in which multiple volume locks may be acquired.
+func (s *Server) volumesByID() []*volume {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*volume, 0, len(s.volumes))
+	for _, v := range s.volumes {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id() < out[j].id() })
+	return out
+}
+
+// id returns the volume's immutable identifier. The ID is assigned before
+// the volume is published in the registry and never changes, so it may be
+// read without the volume lock (it is what the lock order is keyed on).
+func (v *volume) id() codafs.VolumeID { return v.info.ID }
+
+// ---- Maintenance sweep ----
+
+// sweepLoop reclaims abandoned fragment buffers and stale client-table
+// entries until the server closes.
+func (s *Server) sweepLoop() {
+	for {
+		s.clock.Sleep(sweepInterval)
+		select {
+		case <-s.stopped:
+			return
+		default:
+		}
+		s.sweepFrags()
+		s.sweepClients()
+	}
+}
+
+// sweepFrags drops fragment buffers whose transfer has gone idle past
+// fragTTL. A client that resumes afterwards is told Received: 0 and
+// restarts the shipment (§4.3.5's resumability is best-effort).
+func (s *Server) sweepFrags() {
+	now := s.clock.Now()
+	s.fragMu.Lock()
+	defer s.fragMu.Unlock()
+	for k, fb := range s.frags {
+		if now.Sub(fb.lastActive) > fragTTL {
+			delete(s.frags, k)
+		}
+	}
+}
+
+// sweepClients evicts table entries for peers netmon has not heard from
+// within clientTTL, bounding the table against clients that are gone for
+// good. rpc2 bounds its reply cache the same way.
+func (s *Server) sweepClients() {
+	mon := s.node.Monitor()
+	s.clientsMu.Lock()
+	defer s.clientsMu.Unlock()
+	for c := range s.clients {
+		if !mon.Peer(c).Alive(clientTTL) {
+			delete(s.clients, c)
+		}
+	}
+}
 
 // ---- Administrative (non-RPC) interface ----
 
@@ -165,9 +331,13 @@ func (s *Server) MakeSymlink(volName, relPath, target string) (codafs.Status, er
 // Resolve walks relPath within the named volume and returns the object's
 // status. An empty relPath names the volume root.
 func (s *Server) Resolve(volName, relPath string) (codafs.Status, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, fid, err := s.walkLocked(volName, relPath)
+	v, comps, err := s.splitPath(volName, relPath)
+	if err != nil {
+		return codafs.Status{}, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	fid, err := v.walkLocked(comps)
 	if err != nil {
 		return codafs.Status{}, err
 	}
@@ -180,9 +350,13 @@ func (s *Server) Resolve(volName, relPath string) (codafs.Status, error) {
 
 // ReadFile returns a file's contents, server-side.
 func (s *Server) ReadFile(volName, relPath string) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, fid, err := s.walkLocked(volName, relPath)
+	v, comps, err := s.splitPath(volName, relPath)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	fid, err := v.walkLocked(comps)
 	if err != nil {
 		return nil, err
 	}
@@ -198,22 +372,24 @@ func (s *Server) ReadFile(volName, relPath string) ([]byte, error) {
 
 // VolumeStamp returns the named volume's current stamp.
 func (s *Server) VolumeStamp(volName string) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id, ok := s.byName[volName]
+	v, ok := s.volByName(volName)
 	if !ok {
 		return 0, fmt.Errorf("server: no volume %q", volName)
 	}
-	return s.volumes[id].info.Stamp, nil
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.info.Stamp, nil
 }
 
 func (s *Server) writeObject(volName, relPath string, typ codafs.ObjType, data []byte, target string) (codafs.Status, error) {
-	vol, comps, err := s.splitAdminPath(volName, relPath)
+	v, comps, err := s.splitPath(volName, relPath)
 	if err != nil {
 		return codafs.Status{}, err
 	}
-	s.mu.Lock()
-	v := vol
+	if len(comps) == 0 {
+		return codafs.Status{}, fmt.Errorf("server: path names the volume root")
+	}
+	v.mu.Lock()
 	dir := v.root
 	var breaks []breakWork
 	for i, c := range comps {
@@ -224,24 +400,24 @@ func (s *Server) writeObject(volName, relPath string, typ codafs.ObjType, data [
 			if typ == codafs.File && exists {
 				o := v.objects[child]
 				if o.Status.Type != codafs.File {
-					s.mu.Unlock()
+					v.mu.Unlock()
 					return codafs.Status{}, fmt.Errorf("server: %s exists and is a %s", c, o.Status.Type)
 				}
 				o.Data = append([]byte(nil), data...)
 				o.Status.Length = int64(len(data))
 				o.Status.ModTime = s.clock.Now()
-				s.bumpLocked(v, child, "")
-				breaks = append(breaks, s.collectBreaksLocked(v, child, ""))
+				v.bumpLocked(child, "")
+				breaks = append(breaks, v.collectBreaksLocked(child, ""))
 				st := o.Status
-				s.mu.Unlock()
+				v.mu.Unlock()
 				s.dispatchBreaks(breaks)
 				return st, nil
 			}
 			if exists {
-				s.mu.Unlock()
+				v.mu.Unlock()
 				return codafs.Status{}, fmt.Errorf("server: %s already exists", c)
 			}
-			fid := s.allocFIDLocked(v)
+			fid := v.allocFIDLocked()
 			o := &codafs.Object{
 				Status: codafs.Status{
 					FID: fid, Type: typ, Length: int64(len(data)),
@@ -260,18 +436,18 @@ func (s *Server) writeObject(volName, relPath string, typ codafs.ObjType, data [
 			parent.Children[c] = fid
 			refreshDirLen(parent)
 			parent.Status.ModTime = s.clock.Now()
-			s.bumpLocked(v, fid, "")
-			s.bumpLocked(v, parent.Status.FID, "")
+			v.bumpLocked(fid, "")
+			v.bumpLocked(parent.Status.FID, "")
 			breaks = append(breaks,
-				s.collectBreaksLocked(v, fid, ""),
-				s.collectBreaksLocked(v, parent.Status.FID, ""))
+				v.collectBreaksLocked(fid, ""),
+				v.collectBreaksLocked(parent.Status.FID, ""))
 			st := o.Status
-			s.mu.Unlock()
+			v.mu.Unlock()
 			s.dispatchBreaks(breaks)
 			return st, nil
 		}
 		if !exists {
-			fid := s.allocFIDLocked(v)
+			fid := v.allocFIDLocked()
 			v.objects[fid] = &codafs.Object{
 				Status: codafs.Status{
 					FID: fid, Type: codafs.Directory,
@@ -281,23 +457,23 @@ func (s *Server) writeObject(volName, relPath string, typ codafs.ObjType, data [
 			}
 			parent.Children[c] = fid
 			refreshDirLen(parent)
-			s.bumpLocked(v, fid, "")
-			s.bumpLocked(v, parent.Status.FID, "")
+			v.bumpLocked(fid, "")
+			v.bumpLocked(parent.Status.FID, "")
 			child = fid
 		} else if v.objects[child].Status.Type != codafs.Directory {
-			s.mu.Unlock()
+			v.mu.Unlock()
 			return codafs.Status{}, fmt.Errorf("server: %s is not a directory", c)
 		}
 		dir = child
 	}
-	s.mu.Unlock()
+	v.mu.Unlock()
 	return codafs.Status{}, fmt.Errorf("server: empty path")
 }
 
-func (s *Server) splitAdminPath(volName, relPath string) (*volume, []string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id, ok := s.byName[volName]
+// splitPath resolves the named volume's domain and splits relPath into
+// components. Pure registry work: no volume lock is taken.
+func (s *Server) splitPath(volName, relPath string) (*volume, []string, error) {
+	v, ok := s.volByName(volName)
 	if !ok {
 		return nil, nil, fmt.Errorf("server: no volume %q", volName)
 	}
@@ -305,47 +481,38 @@ func (s *Server) splitAdminPath(volName, relPath string) (*volume, []string, err
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(comps) == 0 {
-		return nil, nil, fmt.Errorf("server: path names the volume root")
-	}
-	return s.volumes[id], comps, nil
+	return v, comps, nil
 }
 
-func (s *Server) walkLocked(volName, relPath string) (*volume, codafs.FID, error) {
-	id, ok := s.byName[volName]
-	if !ok {
-		return nil, codafs.FID{}, fmt.Errorf("server: no volume %q", volName)
-	}
-	v := s.volumes[id]
-	_, comps, err := codafs.SplitPath(codafs.JoinPath(volName, relPath))
-	if err != nil {
-		return nil, codafs.FID{}, err
-	}
+// walkLocked resolves comps from the volume root. Caller holds v.mu.
+func (v *volume) walkLocked(comps []string) (codafs.FID, error) {
 	fid := v.root
 	for _, c := range comps {
 		o := v.objects[fid]
 		if o == nil {
-			return nil, codafs.FID{}, fmt.Errorf("server: dangling entry at %s", c)
+			return codafs.FID{}, fmt.Errorf("server: dangling entry at %s", c)
 		}
 		if o.Status.Type != codafs.Directory {
-			return nil, codafs.FID{}, fmt.Errorf("server: %s is not a directory", c)
+			return codafs.FID{}, fmt.Errorf("server: %s is not a directory", c)
 		}
 		child, ok := o.Children[c]
 		if !ok {
-			return nil, codafs.FID{}, fmt.Errorf("server: %s not found", c)
+			return codafs.FID{}, fmt.Errorf("server: %s not found", c)
 		}
 		fid = child
 	}
-	return v, fid, nil
+	return fid, nil
 }
 
-func (s *Server) allocFIDLocked(v *volume) codafs.FID {
+// allocFIDLocked allocates a fresh FID. Caller holds v.mu.
+func (v *volume) allocFIDLocked() codafs.FID {
 	v.nextVnode++
 	return codafs.FID{Volume: v.info.ID, Vnode: v.nextVnode, Unique: v.nextVnode}
 }
 
 // bumpLocked advances the volume stamp and sets the object's version to it.
-func (s *Server) bumpLocked(v *volume, fid codafs.FID, author string) {
+// Caller holds v.mu.
+func (v *volume) bumpLocked(fid codafs.FID, author string) {
 	v.info.Stamp++
 	if o, ok := v.objects[fid]; ok {
 		o.Status.Version = v.info.Stamp
@@ -355,6 +522,17 @@ func (s *Server) bumpLocked(v *volume, fid codafs.FID, author string) {
 	} else {
 		delete(v.lastAuthor, fid)
 	}
+}
+
+// registerObjCallbackLocked grants client a callback on fid. Caller holds
+// v.mu.
+func (v *volume) registerObjCallbackLocked(fid codafs.FID, client string) {
+	cbs := v.objCallbacks[fid]
+	if cbs == nil {
+		cbs = make(map[string]bool)
+		v.objCallbacks[fid] = cbs
+	}
+	cbs[client] = true
 }
 
 // breakWork is a set of clients to notify about one invalidation.
@@ -367,8 +545,9 @@ type breakWork struct {
 }
 
 // collectBreaksLocked gathers and clears the callback registrations that an
-// update to fid invalidates, excluding the updating client.
-func (s *Server) collectBreaksLocked(v *volume, fid codafs.FID, updater string) breakWork {
+// update to fid invalidates, excluding the updating client. Caller holds
+// v.mu; the returned work is dispatched after the lock is released.
+func (v *volume) collectBreaksLocked(fid codafs.FID, updater string) breakWork {
 	w := breakWork{fid: fid, volID: v.info.ID}
 	if cbs := v.objCallbacks[fid]; cbs != nil {
 		for c := range cbs {
@@ -391,7 +570,9 @@ func (s *Server) collectBreaksLocked(v *volume, fid codafs.FID, updater string) 
 
 // dispatchBreaks delivers callback breaks asynchronously; a client updating
 // an object never waits on other clients' notifications (first design
-// principle: don't punish strongly-connected clients).
+// principle: don't punish strongly-connected clients). Callers must not
+// hold any server or volume lock: the RPCs go out on fresh goroutines, and
+// no lock is required to start them.
 func (s *Server) dispatchBreaks(work []breakWork) {
 	// Coalesce per destination client.
 	type agg struct {
@@ -427,7 +608,7 @@ func (s *Server) dispatchBreaks(work []breakWork) {
 			brk.Volumes = append(brk.Volumes, v)
 		}
 		client := client
-		s.breaksSent.Add(1)
+		s.stats.breaksSent.Add(1)
 		s.clock.Go(func() {
 			// Best effort: an unreachable client revalidates later.
 			_, _ = wire.Call[wire.CallbackBreakRep](s.node, client, brk, rpc2.CallOpts{MaxRetries: 2})

@@ -8,12 +8,16 @@ import (
 	"repro/internal/codafs"
 	"repro/internal/delta"
 	"repro/internal/rpc2"
+	"repro/internal/simtime"
 	"repro/internal/wire"
 )
 
-// trickleDaemon is the periodic daemon of §4.3.3: it discovers CML records
-// older than the aging window and reintegrates them a chunk at a time,
-// deferring to foreground traffic between chunks.
+// trickleDaemon supervises the state machine on the trickle cadence:
+// demotions when bandwidth sinks, promotions when the CMLs drain. The
+// drains themselves are per-volume — every mounted volume runs its own
+// volumeTrickleLoop, so independent volumes reintegrate concurrently and
+// a large shipment on one cannot delay another's aged records (§4.3.3's
+// per-volume reintegration, carried into the client).
 func (v *Venus) trickleDaemon() {
 	for {
 		v.clock.Sleep(v.cfg.TrickleInterval)
@@ -21,6 +25,19 @@ func (v *Venus) trickleDaemon() {
 			return
 		}
 		v.maybeDemote()
+		v.maybePromote()
+	}
+}
+
+// volumeTrickleLoop is one volume's trickle daemon (§4.3.3): every
+// interval it looks for CML records older than the aging window and ships
+// one chunk, deferring to foreground traffic.
+func (v *Venus) volumeTrickleLoop(vc *vclient) {
+	for {
+		v.clock.Sleep(v.cfg.TrickleInterval)
+		if v.isClosed() {
+			return
+		}
 		if v.State() != WriteDisconnected {
 			continue
 		}
@@ -29,31 +46,10 @@ func (v *Venus) trickleDaemon() {
 		if v.foregroundBusy() {
 			continue
 		}
-		v.trickleOnce(v.effectiveAging())
-		v.maybePromote()
-	}
-}
-
-// trickleOnce attempts one chunk per volume; it reports whether any chunk
-// was reintegrated.
-func (v *Venus) trickleOnce(age time.Duration) bool {
-	v.mu.Lock()
-	vols := v.volumeList()
-	v.mu.Unlock()
-	any := false
-	for _, vc := range vols {
-		if v.isClosed() {
-			return any
-		}
-		if v.reintegrateChunk(vc, age) {
-			any = true
-		}
-		// Between chunks, yield to foreground activity.
-		if v.foregroundBusy() {
-			return any
+		if v.reintegrateChunk(vc, v.effectiveAging()) {
+			v.maybePromote()
 		}
 	}
-	return any
 }
 
 // chunkSize computes C from the current bandwidth estimate: the amount of
@@ -72,8 +68,11 @@ func (v *Venus) chunkSize() int64 {
 }
 
 // reintegrateChunk ships one chunk from vc's CML. It returns true if a
-// chunk was committed.
+// chunk was committed. Only vc.drainMu is held across the RPCs; Venus.mu
+// is taken briefly to read and to reconcile results.
 func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
+	vc.drainMu.Lock()
+	defer vc.drainMu.Unlock()
 	c := v.chunkSize()
 	records := vc.log.BeginReintegration(age, c, v.clock.Now())
 	if records == nil {
@@ -319,6 +318,12 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 	}
 	v.mu.Unlock()
 
+	// Serialize with this volume's other drains: without the drain lock a
+	// trickle chunk in flight would hold the CML barrier and this call
+	// would see "nothing pending" despite pending subtree records.
+	vc.drainMu.Lock()
+	defer vc.drainMu.Unlock()
+
 	records := vc.log.BeginSubtreeReintegration(func(r *cml.Record) bool {
 		return members[r.FID] || members[r.Parent] || members[r.NewParent]
 	})
@@ -378,8 +383,9 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 
 // ForceReintegrate drains every CML immediately, ignoring the aging window
 // — the user is about to hang up the phone or walk out of wireless range
-// (§4.3.2). It returns an error if records remain (network failure or
-// persistent conflicts).
+// (§4.3.2). Volumes drain concurrently, one goroutine per volume, so the
+// total wait is the slowest volume rather than the sum. It returns an
+// error if records remain (network failure or persistent conflicts).
 func (v *Venus) ForceReintegrate() error {
 	if v.State() == Emulating {
 		return ErrDisconnected
@@ -388,16 +394,31 @@ func (v *Venus) ForceReintegrate() error {
 		v.mu.Lock()
 		vols := v.volumeList()
 		v.mu.Unlock()
+		type drained struct {
+			remaining int
+			progress  bool
+		}
+		done := simtime.NewQueue[drained](v.clock)
+		for _, vc := range vols {
+			vc := vc
+			v.clock.Go(func() {
+				var d drained
+				for vc.log.Len() > 0 {
+					if !v.reintegrateChunk(vc, 0) {
+						break
+					}
+					d.progress = true
+				}
+				d.remaining = vc.log.Len()
+				done.Put(d)
+			})
+		}
 		remaining := 0
 		progress := false
-		for _, vc := range vols {
-			for vc.log.Len() > 0 {
-				if !v.reintegrateChunk(vc, 0) {
-					break
-				}
-				progress = true
-			}
-			remaining += vc.log.Len()
+		for range vols {
+			d, _ := done.Get()
+			remaining += d.remaining
+			progress = progress || d.progress
 		}
 		if remaining == 0 {
 			v.maybePromote()

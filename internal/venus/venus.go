@@ -173,13 +173,23 @@ type Venus struct {
 	stopped chan struct{}
 }
 
-// vclient is Venus's view of one mounted volume.
+// vclient is Venus's view of one mounted volume. Each mounted volume is
+// its own reintegration domain: a per-volume trickle loop drains its CML
+// on its own schedule, so a large shipment on one volume never delays
+// another volume's records (mirroring the server's per-volume locking).
 type vclient struct {
 	info     codafs.VolumeInfo
 	root     codafs.FID
 	stamp    uint64 // cached volume version stamp
 	hasStamp bool   // whether stamp is usable (volume callback held)
 	log      *cml.Log
+
+	// drainMu serializes reintegration attempts against this volume's CML
+	// (its trickle loop vs. the Force* paths), so concurrent drains of
+	// DIFFERENT volumes proceed while one volume's drain stays single-file.
+	// Lock order: drainMu before Venus.mu; RPCs are issued holding only
+	// drainMu, never Venus.mu.
+	drainMu sync.Mutex
 }
 
 // Conflict records a CML record the server rejected at reintegration.
@@ -384,8 +394,8 @@ func (v *Venus) Mount(volume string) error {
 		return fmt.Errorf("venus: mount %s: root fetch: %w", volume, err)
 	}
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if _, dup := v.volumes[volume]; dup {
+		v.mu.Unlock()
 		return nil
 	}
 	vc := &vclient{info: rep.Info, root: rep.Root.FID, log: cml.NewLog()}
@@ -396,6 +406,9 @@ func (v *Venus) Mount(volume string) error {
 	v.volByID[rep.Info.ID] = vc
 	f := v.cache.install(rootRep.Object.Clone(), false)
 	f.hasCallback = true
+	v.mu.Unlock()
+	// Each volume ages and reintegrates on its own schedule.
+	v.clock.Go(func() { v.volumeTrickleLoop(vc) })
 	return nil
 }
 

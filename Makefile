@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench vet fmt clean
+.PHONY: all build test race lint bench vet fmt clean crash
 
 all: build vet lint test
 
@@ -12,6 +12,13 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# Durability gate: the full crash matrices (power cut at every journal
+# write on both ends), torn-tail truncation, and journal-failure
+# rejection tests, under the race detector.
+crash:
+	$(GO) test -race -count=1 -run 'Crash|Torn|Journal|Recovery|Corrupt' \
+		./internal/wal/ ./internal/crashfs/ ./internal/venus/ ./internal/server/ ./internal/cml/
 
 lint:
 	$(GO) run ./cmd/codalint ./...

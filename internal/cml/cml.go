@@ -518,8 +518,17 @@ func (l *Log) Save(w io.Writer) error {
 	})
 }
 
-// Load restores a log persisted by Save.
-func Load(r io.Reader) (*Log, error) {
+// Load restores a log persisted by Save. Truncated or corrupted input
+// yields an error, never a panic: a decoder panic on a mangled stream is
+// converted, so a half-written state file degrades to a load failure the
+// caller can handle.
+func Load(r io.Reader) (log *Log, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			log = nil
+			err = fmt.Errorf("cml: load: corrupted log image: %v", p)
+		}
+	}()
 	var img logImage
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("cml: load: %w", err)

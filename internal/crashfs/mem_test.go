@@ -1,0 +1,229 @@
+package crashfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func write(t *testing.T, fs FS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func read(t *testing.T, fs FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestMemDurabilityModel: synced content + synced directory entry
+// survive a crash; anything less does not.
+func TestMemDurabilityModel(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+
+	write(t, m, "d/durable", []byte("kept"), true)
+	write(t, m, "d/unsynced-content", []byte("lost"), false)
+	write(t, m, "d/unsynced-entry", []byte("lost too"), true) // content synced, entry not
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, m, "d/after-dirsync", []byte("entry volatile"), true)
+
+	m.Crash()
+	if _, err := m.Open("d/durable"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: got %v, want ErrCrashed", err)
+	}
+	m.Reboot()
+
+	if got := read(t, m, "d/durable"); !bytes.Equal(got, []byte("kept")) {
+		t.Fatalf("durable file: got %q", got)
+	}
+	// Content was never synced: the durable entry holds an empty file.
+	if got := read(t, m, "d/unsynced-content"); len(got) != 0 {
+		t.Fatalf("unsynced content survived: %q", got)
+	}
+	// unsynced-entry was SyncDir'd together with the others, so it
+	// survives; after-dirsync's entry was created after the SyncDir and
+	// is gone.
+	if got := read(t, m, "d/unsynced-entry"); !bytes.Equal(got, []byte("lost too")) {
+		t.Fatalf("synced-entry file: got %q", got)
+	}
+	if _, err := m.Open("d/after-dirsync"); !IsNotExist(err) {
+		t.Fatalf("entry created after SyncDir survived crash: %v", err)
+	}
+}
+
+// TestMemRenameDurability: a rename is volatile until SyncDir.
+func TestMemRenameDurability(t *testing.T) {
+	m := NewMem()
+	write(t, m, "d/tmp", []byte("v2"), true)
+	write(t, m, "d/state", []byte("v1"), true)
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("d/tmp", "d/state"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	m.Reboot()
+	// Without a SyncDir after the rename, the old entries are back.
+	if got := read(t, m, "d/state"); !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("un-synced rename became durable: state=%q", got)
+	}
+	if got := read(t, m, "d/tmp"); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("tmp: got %q", got)
+	}
+
+	// Now the same rename with the directory sync: durable.
+	if err := m.Rename("d/tmp", "d/state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	m.Reboot()
+	if got := read(t, m, "d/state"); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("synced rename lost: state=%q", got)
+	}
+	if _, err := m.Open("d/tmp"); !IsNotExist(err) {
+		t.Fatalf("tmp survived synced rename: %v", err)
+	}
+}
+
+// TestMemArmCrashTearsWrite: the crashing write's bytes survive only up
+// to the keepUnsynced allowance — a torn tail.
+func TestMemArmCrashTearsWrite(t *testing.T) {
+	m := NewMem()
+	f, err := m.Create("d/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	m.ArmCrash(1, 3) // next write crashes; 3 un-synced bytes survive
+	if _, err := f.Write([]byte("efgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write: got %v", err)
+	}
+	m.Reboot()
+	if got := read(t, m, "d/log"); !bytes.Equal(got, []byte("abcdefg")) {
+		t.Fatalf("torn tail: got %q, want %q", got, "abcdefg")
+	}
+}
+
+// TestMemScriptedFaults: fail-Nth-write, short write, sync error,
+// rename error.
+func TestMemScriptedFaults(t *testing.T) {
+	m := NewMem()
+	boom := errors.New("boom")
+
+	f, err := m.Create("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FailWrite(1, boom)
+	if _, err := f.Write([]byte("xx")); !errors.Is(err, boom) {
+		t.Fatalf("failed write: got %v", err)
+	}
+	if n, err := f.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("write after fault: %d, %v", n, err)
+	}
+
+	m.ShortWrite(1, 1)
+	if n, err := f.Write([]byte("yz")); n != 1 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: %d, %v", n, err)
+	}
+	if got := read(t, m, "d/f"); !bytes.Equal(got, []byte("oky")) {
+		t.Fatalf("content after short write: %q", got)
+	}
+
+	m.FailSync(1, boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("failed sync: got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after fault: %v", err)
+	}
+
+	m.FailRenames(1)
+	if err := m.Rename("d/f", "d/g"); err == nil {
+		t.Fatal("rename fault did not fire")
+	}
+	if err := m.Rename("d/f", "d/g"); err != nil {
+		t.Fatalf("rename after fault: %v", err)
+	}
+}
+
+// TestOSRoundTrip exercises the real-filesystem implementation against
+// a temp dir.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var o OS
+	if err := o.MkdirAll(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, o, dir+"/sub/a", []byte("hello"), true)
+	if err := o.SyncDir(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(t, o, dir+"/sub/a"); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("read back: %q", got)
+	}
+	if err := o.Rename(dir+"/sub/a", dir+"/sub/b"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := o.ReadDir(dir + "/sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "b" {
+		t.Fatalf("dir listing: %v", names)
+	}
+	if err := o.Truncate(dir+"/sub/b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := read(t, o, dir+"/sub/b"); !bytes.Equal(got, []byte("he")) {
+		t.Fatalf("after truncate: %q", got)
+	}
+	if err := o.Remove(dir + "/sub/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Open(dir + "/sub/b"); !IsNotExist(err) {
+		t.Fatalf("removed file: %v", err)
+	}
+}

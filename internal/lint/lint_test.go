@@ -241,3 +241,23 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 }
+
+func TestSimclockWALNotAllowlisted(t *testing.T) {
+	// internal/wal must take its flush clock by injection (wal.Options
+	// carries a simtime.Clock for the interval-sync policy), so the
+	// allowlist deliberately does not cover it. Pin that: the same
+	// real-clock fixture loaded as if it lived at internal/wal is
+	// flagged, and the live allowlist has no wal entry.
+	pkg, err := LoadDir(filepath.Join("testdata", "simclock_allowed"), "internal/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Run([]*Package{pkg}, []Analyzer{NewSimclock(DefaultAllowlist())}); len(got) != 2 {
+		t.Fatalf("real-clock use under internal/wal: got %d findings, want 2:\n%v", len(got), got)
+	}
+	for _, entry := range DefaultAllowlist() {
+		if strings.Contains(entry, "wal") {
+			t.Errorf("allowlist entry %q covers internal/wal", entry)
+		}
+	}
+}

@@ -218,6 +218,12 @@ func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.Mut
 		v.mu.Unlock()
 		return wire.MutateRep{}, fmt.Errorf("%s", res.Msg)
 	}
+	// Journal before commit: the update must be durable before it becomes
+	// visible (or acknowledged). On journal failure nothing commits.
+	if err := journalBatchLocked(v, src, []cml.Record{rec}); err != nil {
+		v.mu.Unlock()
+		return wire.MutateRep{}, fmt.Errorf("journal: %w", err)
+	}
 	statuses, stamp, breaks := commitApply(a, src)
 	v.mu.Unlock()
 	s.stats.recordsApplied.Add(1)
@@ -369,6 +375,15 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 		v.mu.Unlock()
 		s.stats.reintegrationFails.Add(1)
 		return rep, nil
+	}
+	// Journal the reconstructed batch (fragments attached, deltas already
+	// applied) before commit, so replay needs neither fragment buffers nor
+	// delta bases. Failure aborts the chunk exactly like a validation
+	// failure would: nothing applied, client retries.
+	if err := journalBatchLocked(v, src, recs); err != nil {
+		v.mu.Unlock()
+		s.stats.reintegrationFails.Add(1)
+		return wire.ReintegrateRep{}, fmt.Errorf("journal: %w", err)
 	}
 	statuses, stamp, breaks := commitApply(a, src)
 	v.mu.Unlock()

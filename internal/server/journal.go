@@ -1,0 +1,380 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/crashfs"
+	"repro/internal/simtime"
+	"repro/internal/wal"
+)
+
+// Server-side durability. Real Coda servers keep their metadata in RVM;
+// here every mutation that reaches commitApply is first framed into a
+// write-ahead log, so a crashed server recovers to exactly the set of
+// updates it acknowledged. The journal is split along the concurrency
+// domains of DESIGN.md §8: one meta WAL (under the registry lock)
+// records volume creations, and one WAL per volume (under that volume's
+// lock) records applied mutation batches — a shared log would re-
+// serialize the volumes that the per-volume locking deliberately keeps
+// independent.
+//
+// Replay is deterministic because apply.go takes every timestamp and
+// version decision from the records themselves and from volume state;
+// the server clock is never consulted during apply. The administrative
+// seeding helpers (WriteFile, MakeDir, MakeSymlink) bypass the apply
+// pipeline and are NOT journaled: seed volumes before attaching the
+// journal, or re-seed on boot.
+
+// metaEntry is one meta-WAL record: a volume creation.
+type metaEntry struct {
+	LSN     uint64
+	Name    string
+	ID      codafs.VolumeID
+	ModTime time.Time // the root directory's creation time
+}
+
+// volEntry is one per-volume WAL record: a batch of records that passed
+// validation and committed atomically. Recs are the reconstructed
+// records (fragments attached, deltas applied), so replay needs neither
+// the fragment buffers nor the delta bases.
+type volEntry struct {
+	LSN    uint64
+	Client string
+	Recs   []cml.Record
+}
+
+// JournalOptions configures Server.AttachJournal.
+type JournalOptions struct {
+	FS           crashfs.FS
+	Dir          string
+	Policy       wal.SyncPolicy
+	Interval     time.Duration
+	SegmentBytes int64
+}
+
+// RecoveryInfo reports what Server.AttachJournal reconstructed.
+type RecoveryInfo struct {
+	SnapshotLoaded  bool
+	VolumesReplayed int // volume creations replayed from the meta WAL
+	BatchesReplayed int // mutation batches replayed from per-volume WALs
+	RecordsReplayed int
+	Meta            wal.RecoveryStats
+	Volumes         wal.RecoveryStats // summed across per-volume WALs
+}
+
+// serverJournal is the attached durability state. sjMu guards the meta
+// WAL and its LSN; it nests inside s.mu (CreateVolume and Checkpoint
+// hold s.mu first). Per-volume WALs are guarded by their volume's mu.
+type serverJournal struct {
+	fs    crashfs.FS
+	dir   string
+	opts  JournalOptions
+	clock simtime.Clock
+
+	sjMu    sync.Mutex
+	meta    *wal.WAL
+	metaLSN uint64
+}
+
+func (sj *serverJournal) snapshotPath() string { return filepath.Join(sj.dir, "snapshot") }
+
+func (sj *serverJournal) volDir(id codafs.VolumeID) string {
+	return filepath.Join(sj.dir, fmt.Sprintf("vol-%d", id))
+}
+
+func (sj *serverJournal) walOptions(dir string) wal.Options {
+	return wal.Options{
+		FS:           sj.fs,
+		Dir:          dir,
+		SegmentBytes: sj.opts.SegmentBytes,
+		Policy:       sj.opts.Policy,
+		Interval:     sj.opts.Interval,
+		Clock:        sj.clock,
+	}
+}
+
+// AttachJournal recovers durable server state from opts.Dir and begins
+// journaling every subsequent applied mutation and volume creation. It
+// must run before the server takes traffic, on a server whose volumes
+// (if any) come only from the snapshot and WALs.
+func (s *Server) AttachJournal(opts JournalOptions) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	if opts.FS == nil || opts.Dir == "" {
+		return info, errors.New("server: journal needs FS and Dir")
+	}
+	s.mu.Lock()
+	attached := s.journal != nil
+	s.mu.Unlock()
+	if attached {
+		return info, errors.New("server: journal already attached")
+	}
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
+		return info, err
+	}
+	sj := &serverJournal{fs: opts.FS, dir: opts.Dir, opts: opts, clock: s.clock}
+
+	// Snapshot: restores the bulk and carries the LSN watermarks that
+	// fence off WAL entries already reflected in it.
+	var metaWatermark uint64
+	volWatermarks := make(map[codafs.VolumeID]uint64)
+	if f, err := opts.FS.Open(sj.snapshotPath()); err == nil {
+		img, derr := decodeServerImage(f)
+		_ = f.Close()
+		if derr != nil {
+			return info, fmt.Errorf("server: journal snapshot: %w", derr)
+		}
+		if err := s.installImage(img); err != nil {
+			return info, err
+		}
+		metaWatermark = img.MetaLSN
+		for _, vi := range img.Volumes {
+			volWatermarks[vi.Info.ID] = vi.JournalLSN
+		}
+		info.SnapshotLoaded = true
+	} else if !crashfs.IsNotExist(err) {
+		return info, err
+	}
+
+	// Meta WAL: replay volume creations the snapshot predates.
+	meta, metaStats, err := wal.Open(sj.walOptions(filepath.Join(opts.Dir, "meta")), func(payload []byte) error {
+		var e metaEntry
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+			return fmt.Errorf("server: meta journal entry: %w", err)
+		}
+		if e.LSN > sj.metaLSN {
+			sj.metaLSN = e.LSN
+		}
+		if e.LSN <= metaWatermark {
+			return nil
+		}
+		info.VolumesReplayed++
+		return s.replayCreateVolume(e)
+	})
+	if err != nil {
+		return info, fmt.Errorf("server: meta journal open: %w", err)
+	}
+	if sj.metaLSN < metaWatermark {
+		sj.metaLSN = metaWatermark
+	}
+	sj.meta = meta
+
+	// Per-volume WALs: replay applied batches through the same apply
+	// pipeline the live path uses, in ascending volume-ID order so the
+	// recovery is deterministic.
+	for _, v := range s.volumesByID() {
+		v.mu.Lock()
+		watermark := volWatermarks[v.info.ID]
+		w, stats, err := wal.Open(sj.walOptions(sj.volDir(v.info.ID)), func(payload []byte) error {
+			var e volEntry
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+				return fmt.Errorf("server: volume %d journal entry: %w", v.info.ID, err)
+			}
+			if e.LSN > v.walLSN {
+				v.walLSN = e.LSN
+			}
+			if e.LSN <= watermark {
+				return nil
+			}
+			info.BatchesReplayed++
+			info.RecordsReplayed += len(e.Recs)
+			return replayBatchLocked(v, e)
+		})
+		if err != nil {
+			v.mu.Unlock()
+			return info, fmt.Errorf("server: volume %d journal open: %w", v.info.ID, err)
+		}
+		if v.walLSN < watermark {
+			v.walLSN = watermark
+		}
+		v.wal = w
+		v.mu.Unlock()
+		info.Volumes.Records += stats.Records
+		info.Volumes.Segments += stats.Segments
+		info.Volumes.TornBytes += stats.TornBytes
+		info.Volumes.TornSegments += stats.TornSegments
+	}
+	info.Meta = metaStats
+
+	s.mu.Lock()
+	s.journal = sj
+	s.mu.Unlock()
+	return info, nil
+}
+
+// replayCreateVolume re-creates one journaled volume with its recorded
+// identity; the clock is not consulted, so replay is reproducible.
+func (s *Server) replayCreateVolume(e metaEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.volumes[e.ID]; dup {
+		return fmt.Errorf("server: journal re-creates volume %d", e.ID)
+	}
+	v := newVolume(e.ID, e.Name, e.ModTime)
+	s.volumes[e.ID] = v
+	s.byName[e.Name] = e.ID
+	if e.ID > s.nextVolID {
+		s.nextVolID = e.ID
+	}
+	return nil
+}
+
+// replayBatchLocked re-applies one journaled batch. The batch passed
+// validation when it was journaled, and apply is a pure function of
+// volume state and the records, so a validation failure here means the
+// journal and snapshot disagree — surfaced, not ignored. Caller holds
+// v.mu.
+func replayBatchLocked(v *volume, e volEntry) error {
+	a := newApply(v)
+	for i := range e.Recs {
+		if res := applyRecord(a, &e.Recs[i], e.Client); !res.OK {
+			return fmt.Errorf("server: journal replay: record %d (%s) no longer applies: %s",
+				i, e.Recs[i].Kind, res.Msg)
+		}
+	}
+	// Callback state is empty during recovery, so the breaks are empty
+	// and there is nothing to dispatch.
+	_, _, _ = commitApply(a, e.Client)
+	return nil
+}
+
+// journalBatchLocked frames an applied batch into v's WAL before it
+// commits. Caller holds v.mu. A nil WAL (no journal attached, or a
+// volume created before attach on a legacy path) journals nothing.
+func journalBatchLocked(v *volume, client string, recs []cml.Record) error {
+	if v.wal == nil {
+		return nil
+	}
+	e := volEntry{LSN: v.walLSN + 1, Client: client, Recs: recs}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return err
+	}
+	if err := v.wal.Append(buf.Bytes()); err != nil {
+		return err
+	}
+	v.walLSN = e.LSN
+	return nil
+}
+
+// journalCreateLocked records a volume creation in the meta WAL and
+// opens the new volume's own WAL. Caller holds s.mu.
+func (s *Server) journalCreateLocked(v *volume, modTime time.Time) error {
+	sj := s.journal
+	if sj == nil {
+		return nil
+	}
+	sj.sjMu.Lock()
+	defer sj.sjMu.Unlock()
+	e := metaEntry{LSN: sj.metaLSN + 1, Name: v.info.Name, ID: v.info.ID, ModTime: modTime}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return err
+	}
+	if err := sj.meta.Append(buf.Bytes()); err != nil {
+		return err
+	}
+	sj.metaLSN = e.LSN
+	w, _, err := wal.Open(sj.walOptions(sj.volDir(v.info.ID)), nil)
+	if err != nil {
+		return err
+	}
+	v.wal = w
+	return nil
+}
+
+// Checkpoint writes a durable snapshot carrying every WAL's watermark,
+// then truncates all WALs — the RVM truncation analogue. It holds the
+// registry lock and every volume lock for the duration, so mutations and
+// creations are blocked and the snapshot is exactly consistent with its
+// watermarks.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	sj := s.journal
+	if sj == nil {
+		s.mu.Unlock()
+		return errors.New("server: no journal attached")
+	}
+	vols := make([]*volume, 0, len(s.volumes))
+	for _, v := range s.volumes {
+		vols = append(vols, v)
+	}
+	sort.Slice(vols, func(i, j int) bool { return vols[i].id() < vols[j].id() })
+	for _, v := range vols {
+		v.mu.Lock()
+	}
+	defer func() {
+		for i := len(vols) - 1; i >= 0; i-- {
+			vols[i].mu.Unlock()
+		}
+		s.mu.Unlock()
+	}()
+
+	sj.sjMu.Lock()
+	img := serverImage{NextVolID: s.nextVolID, MetaLSN: sj.metaLSN}
+	sj.sjMu.Unlock()
+	for _, v := range vols {
+		vi := v.imageLocked()
+		vi.JournalLSN = v.walLSN
+		img.Volumes = append(img.Volumes, vi)
+	}
+	if err := writeImageFS(sj.fs, sj.snapshotPath(), img); err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	sj.sjMu.Lock()
+	err := sj.meta.Reset()
+	sj.sjMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("server: checkpoint: reset meta WAL: %w", err)
+	}
+	for _, v := range vols {
+		if v.wal == nil {
+			continue
+		}
+		if err := v.wal.Reset(); err != nil {
+			return fmt.Errorf("server: checkpoint: reset volume %d WAL: %w", v.info.ID, err)
+		}
+	}
+	return nil
+}
+
+// CloseJournal detaches the journal and closes every WAL.
+func (s *Server) CloseJournal() error {
+	s.mu.Lock()
+	sj := s.journal
+	s.journal = nil
+	vols := make([]*volume, 0, len(s.volumes))
+	for _, v := range s.volumes {
+		vols = append(vols, v)
+	}
+	s.mu.Unlock()
+	if sj == nil {
+		return nil
+	}
+	var firstErr error
+	sj.sjMu.Lock()
+	if err := sj.meta.Close(); err != nil {
+		firstErr = err
+	}
+	sj.sjMu.Unlock()
+	for _, v := range vols {
+		v.mu.Lock()
+		w := v.wal
+		v.wal = nil
+		v.mu.Unlock()
+		if w != nil {
+			if err := w.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

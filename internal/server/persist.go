@@ -4,11 +4,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 
 	"repro/internal/codafs"
+	"repro/internal/crashfs"
 )
 
 // Persistence for server state. Volumes, objects, version stamps, and the
@@ -17,19 +17,52 @@ import (
 // that through validation, exactly the crash-recovery story of real Coda
 // servers (and why reintegration is atomic: a retry after a crash is safe).
 
-// volumeImage is the serialized form of one volume.
+// The image types hold no maps: gob encodes maps in random iteration
+// order, so a map anywhere in the stream would make two snapshots of the
+// same state differ byte-for-byte. Directory entries and the authorship
+// table are flattened to sorted slices instead, which is what lets the
+// crash-matrix tests compare recovered state against a clean run by bytes
+// alone.
+
+// dirEntry is one directory entry, sorted by name in the image.
+type dirEntry struct {
+	Name string
+	FID  codafs.FID
+}
+
+// objectImage is the serialized form of one object.
+type objectImage struct {
+	Status   codafs.Status
+	Data     []byte
+	Children []dirEntry
+	Target   string
+}
+
+// authorEntry is one lastAuthor row, sorted by FID in the image.
+type authorEntry struct {
+	FID codafs.FID
+	Who string
+}
+
+// volumeImage is the serialized form of one volume. JournalLSN is the
+// volume WAL watermark: entries at or below it are already reflected in
+// the image, so recovery skips them. Plain SaveState writes zero (the
+// image stands alone); only Checkpoint embeds live watermarks.
 type volumeImage struct {
 	Info       codafs.VolumeInfo
 	Root       codafs.FID
 	NextVnode  uint64
-	Objects    []codafs.Object
-	LastAuthor map[codafs.FID]string
+	Objects    []objectImage
+	LastAuthor []authorEntry
+	JournalLSN uint64
 }
 
-// serverImage is the serialized form of a Server's durable state.
+// serverImage is the serialized form of a Server's durable state. MetaLSN
+// is the meta-WAL watermark, zero outside Checkpoint images.
 type serverImage struct {
 	Volumes   []volumeImage
 	NextVolID codafs.VolumeID
+	MetaLSN   uint64
 }
 
 // fidLess orders FIDs for byte-stable snapshots.
@@ -43,13 +76,48 @@ func fidLess(a, b codafs.FID) bool {
 	return a.Unique < b.Unique
 }
 
+// imageLocked copies one volume into its serialized form. Caller holds
+// v.mu. Objects, directory entries, and authorship rows are emitted in
+// sorted order so identical states produce identical bytes.
+func (v *volume) imageLocked() volumeImage {
+	vi := volumeImage{
+		Info:      v.info,
+		Root:      v.root,
+		NextVnode: v.nextVnode,
+	}
+	for fid, who := range v.lastAuthor {
+		vi.LastAuthor = append(vi.LastAuthor, authorEntry{FID: fid, Who: who})
+	}
+	sort.Slice(vi.LastAuthor, func(i, j int) bool {
+		return fidLess(vi.LastAuthor[i].FID, vi.LastAuthor[j].FID)
+	})
+	for _, o := range v.objects {
+		oi := objectImage{Status: o.Status, Target: o.Target}
+		if o.Data != nil {
+			oi.Data = append([]byte(nil), o.Data...)
+		}
+		for name, fid := range o.Children {
+			oi.Children = append(oi.Children, dirEntry{Name: name, FID: fid})
+		}
+		sort.Slice(oi.Children, func(i, j int) bool {
+			return oi.Children[i].Name < oi.Children[j].Name
+		})
+		vi.Objects = append(vi.Objects, oi)
+	}
+	sort.Slice(vi.Objects, func(i, j int) bool {
+		return fidLess(vi.Objects[i].Status.FID, vi.Objects[j].Status.FID)
+	})
+	return vi
+}
+
 // SaveState writes all volumes to w. It acquires the registry lock, then
 // every volume lock in ascending ID order — the canonical lock order, so a
 // snapshot cannot deadlock against handlers or a concurrent SaveState —
 // copies the images, and releases everything before encoding. The image is
 // therefore a consistent point-in-time cut across all volumes, and volumes
 // and objects are emitted in sorted order so identical states produce
-// identical bytes.
+// identical bytes. Watermarks are zero: two servers with the same logical
+// state produce the same bytes whether or not a journal is attached.
 func (s *Server) SaveState(w io.Writer) error {
 	s.mu.Lock()
 	vols := make([]*volume, 0, len(s.volumes))
@@ -64,22 +132,8 @@ func (s *Server) SaveState(w io.Writer) error {
 	s.mu.Unlock()
 
 	for _, v := range vols {
-		vi := volumeImage{
-			Info:       v.info,
-			Root:       v.root,
-			NextVnode:  v.nextVnode,
-			LastAuthor: make(map[codafs.FID]string, len(v.lastAuthor)),
-		}
-		for fid, who := range v.lastAuthor {
-			vi.LastAuthor[fid] = who
-		}
-		for _, o := range v.objects {
-			vi.Objects = append(vi.Objects, *o.Clone())
-		}
+		vi := v.imageLocked()
 		v.mu.Unlock()
-		sort.Slice(vi.Objects, func(i, j int) bool {
-			return fidLess(vi.Objects[i].Status.FID, vi.Objects[j].Status.FID)
-		})
 		img.Volumes = append(img.Volumes, vi)
 	}
 	if err := gob.NewEncoder(w).Encode(img); err != nil {
@@ -88,13 +142,25 @@ func (s *Server) SaveState(w io.Writer) error {
 	return nil
 }
 
-// LoadState restores volumes saved by SaveState into a server that has no
-// volumes yet.
-func (s *Server) LoadState(r io.Reader) error {
-	var img serverImage
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return fmt.Errorf("server: load state: %w", err)
+// decodeServerImage decodes a serverImage, converting both decode errors
+// and decode panics (gob panics on some forms of corruption) into a
+// wrapped error. A truncated or bit-flipped image must never take the
+// process down — recovery reports it and the operator decides.
+func decodeServerImage(r io.Reader) (img serverImage, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			img = serverImage{}
+			err = fmt.Errorf("server: corrupted state image: %v", p)
+		}
+	}()
+	if derr := gob.NewDecoder(r).Decode(&img); derr != nil {
+		return serverImage{}, fmt.Errorf("server: load state: %w", derr)
 	}
+	return img, nil
+}
+
+// installImage populates an empty server from a decoded image.
+func (s *Server) installImage(img serverImage) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.volumes) > 0 {
@@ -107,16 +173,23 @@ func (s *Server) LoadState(r io.Reader) error {
 			root:         vi.Root,
 			nextVnode:    vi.NextVnode,
 			objects:      make(map[codafs.FID]*codafs.Object, len(vi.Objects)),
-			lastAuthor:   vi.LastAuthor,
+			lastAuthor:   make(map[codafs.FID]string, len(vi.LastAuthor)),
 			objCallbacks: make(map[codafs.FID]map[string]bool),
 			volCallbacks: make(map[string]bool),
 		}
-		if v.lastAuthor == nil {
-			v.lastAuthor = make(map[codafs.FID]string)
+		for _, ae := range vi.LastAuthor {
+			v.lastAuthor[ae.FID] = ae.Who
 		}
 		for i := range vi.Objects {
-			o := vi.Objects[i]
-			v.objects[o.Status.FID] = &o
+			oi := vi.Objects[i]
+			o := &codafs.Object{Status: oi.Status, Data: oi.Data, Target: oi.Target}
+			if oi.Status.Type == codafs.Directory {
+				o.Children = make(map[string]codafs.FID, len(oi.Children))
+				for _, de := range oi.Children {
+					o.Children[de.Name] = de.FID
+				}
+			}
+			v.objects[o.Status.FID] = o
 		}
 		s.volumes[vi.Info.ID] = v
 		s.byName[vi.Info.Name] = vi.Info.ID
@@ -124,30 +197,82 @@ func (s *Server) LoadState(r io.Reader) error {
 	return nil
 }
 
-// SaveStateFile persists to path atomically.
-func (s *Server) SaveStateFile(path string) error {
+// LoadState restores volumes saved by SaveState into a server that has no
+// volumes yet. Corrupted images — truncated, bit-flipped, or otherwise —
+// come back as errors, never panics.
+func (s *Server) LoadState(r io.Reader) error {
+	img, err := decodeServerImage(r)
+	if err != nil {
+		return err
+	}
+	return s.installImage(img)
+}
+
+// writeImageFS persists an image to path with full crash-atomicity: the
+// bytes are written to a temporary file, fsynced, renamed into place, and
+// the parent directory is fsynced so the rename itself is durable. A crash
+// at any point leaves either the old image or the new one, never a torn
+// mixture.
+func writeImageFS(fsys crashfs.FS, path string, img serverImage) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(img); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("server: save state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// SaveStateFS persists to path atomically and durably through fsys.
+func (s *Server) SaveStateFS(fsys crashfs.FS, path string) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := s.SaveState(f); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
-// LoadStateFile restores from a SaveStateFile image; a missing file is not
-// an error (first boot).
-func (s *Server) LoadStateFile(path string) error {
-	f, err := os.Open(filepath.Clean(path))
-	if os.IsNotExist(err) {
+// LoadStateFS restores from a SaveStateFS image; a missing file is not an
+// error (first boot).
+func (s *Server) LoadStateFS(fsys crashfs.FS, path string) error {
+	f, err := fsys.Open(path)
+	if crashfs.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
@@ -155,4 +280,15 @@ func (s *Server) LoadStateFile(path string) error {
 	}
 	defer f.Close()
 	return s.LoadState(f)
+}
+
+// SaveStateFile persists to path atomically and durably.
+func (s *Server) SaveStateFile(path string) error {
+	return s.SaveStateFS(crashfs.OS{}, path)
+}
+
+// LoadStateFile restores from a SaveStateFile image; a missing file is not
+// an error (first boot).
+func (s *Server) LoadStateFile(path string) error {
+	return s.LoadStateFS(crashfs.OS{}, path)
 }

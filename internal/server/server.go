@@ -38,6 +38,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rpc2"
 	"repro/internal/simtime"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -76,6 +77,7 @@ type Server struct {
 	volumes   map[codafs.VolumeID]*volume
 	byName    map[string]codafs.VolumeID
 	nextVolID codafs.VolumeID
+	journal   *serverJournal // durability WALs; nil until AttachJournal
 
 	// clientsMu guards the connected-client table. Not nested with any
 	// other server lock.
@@ -127,6 +129,12 @@ type volume struct {
 
 	objCallbacks map[codafs.FID]map[string]bool
 	volCallbacks map[string]bool
+
+	// wal journals this volume's applied mutation batches; walLSN is the
+	// last framed entry. Both nil/zero until the server journal attaches
+	// (see journal.go). Guarded by mu like everything else here.
+	wal    *wal.WAL
+	walLSN uint64
 }
 
 type fragKey struct {
@@ -279,15 +287,10 @@ func (s *Server) sweepClients() {
 
 // ---- Administrative (non-RPC) interface ----
 
-// CreateVolume creates an empty volume with a root directory.
-func (s *Server) CreateVolume(name string) (codafs.VolumeInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.byName[name]; dup {
-		return codafs.VolumeInfo{}, fmt.Errorf("server: volume %q exists", name)
-	}
-	s.nextVolID++
-	id := s.nextVolID
+// newVolume builds an empty volume with a root directory. modTime is the
+// root's creation time — passed in rather than read from a clock so a
+// journal replay reproduces the original volume exactly.
+func newVolume(id codafs.VolumeID, name string, modTime time.Time) *volume {
 	v := &volume{
 		info:         codafs.VolumeInfo{ID: id, Name: name, Stamp: 1},
 		nextVnode:    1,
@@ -301,10 +304,28 @@ func (s *Server) CreateVolume(name string) (codafs.VolumeInfo, error) {
 	v.objects[root] = &codafs.Object{
 		Status: codafs.Status{
 			FID: root, Type: codafs.Directory, Version: 1,
-			ModTime: s.clock.Now(), Mode: 0755, Owner: "root",
+			ModTime: modTime, Mode: 0755, Owner: "root",
 		},
 		Children: make(map[string]codafs.FID),
 	}
+	return v
+}
+
+// CreateVolume creates an empty volume with a root directory. With a
+// journal attached, the creation is durable before it is visible.
+func (s *Server) CreateVolume(name string) (codafs.VolumeInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byName[name]; dup {
+		return codafs.VolumeInfo{}, fmt.Errorf("server: volume %q exists", name)
+	}
+	id := s.nextVolID + 1
+	modTime := s.clock.Now()
+	v := newVolume(id, name, modTime)
+	if err := s.journalCreateLocked(v, modTime); err != nil {
+		return codafs.VolumeInfo{}, fmt.Errorf("server: create volume %q: journal: %w", name, err)
+	}
+	s.nextVolID = id
 	s.volumes[id] = v
 	s.byName[name] = id
 	return v.info, nil

@@ -17,15 +17,20 @@ type HDBEntry struct {
 }
 
 // HoardAdd inserts or updates an HDB entry. Nothing is fetched immediately;
-// that is deferred to a future hoard walk (§4.4.2).
+// that is deferred to a future hoard walk (§4.4.2). The HDB is part of the
+// durable state (it encodes the user's priorities across restarts), so the
+// change is journaled before it is applied.
 func (v *Venus) HoardAdd(path string, priority int, children bool) {
+	e := HDBEntry{Path: path, Priority: priority, Children: children}
+	v.journalHDB(journalEntry{Op: jHoardAdd, HDB: e})
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	v.hdb[path] = &HDBEntry{Path: path, Priority: priority, Children: children}
+	v.hdb[path] = &e
 }
 
 // HoardRemove deletes an HDB entry.
 func (v *Venus) HoardRemove(path string) {
+	v.journalHDB(journalEntry{Op: jHoardRemove, Path: path})
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	delete(v.hdb, path)

@@ -1,0 +1,326 @@
+package venus
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/crashfs"
+	"repro/internal/wal"
+)
+
+// The client journal makes every CML mutation durable the moment it
+// happens, which is what §4.3.1 requires of trickle reintegration:
+// "local persistence of updates on a Coda client is assured by the CML",
+// kept in RVM by the real Venus. Here the role of RVM is played by a
+// write-ahead log (internal/wal): each CML append, each post-
+// reintegration drop, and each hoard-database change is framed into the
+// WAL before it is applied in memory. Recovery is snapshot + replay —
+// the last Checkpoint's gob image restores the bulk, and the WAL's
+// surviving suffix re-runs everything after it. Replay is deterministic
+// because cml.Log.Append assigns sequence numbers and runs the
+// optimization rules as pure functions of the log state and the record.
+
+// journalOp tags one WAL entry.
+type journalOp uint8
+
+const (
+	jAppend journalOp = iota + 1 // a CML append (the input record, pre-Seq)
+	jDrop                        // records removed after the server applied them
+	jHoardAdd
+	jHoardRemove
+)
+
+// journalEntry is the gob-framed payload of one WAL record.
+type journalEntry struct {
+	LSN    uint64
+	Op     journalOp
+	Volume string     // jAppend, jDrop
+	Rec    cml.Record // jAppend: as passed to Append (Seq assigned on replay)
+	Now    time.Time  // jAppend: the Append timestamp
+	Seqs   []uint64   // jDrop
+	HDB    HDBEntry   // jHoardAdd
+	Path   string     // jHoardRemove
+}
+
+// JournalOptions configures AttachJournal. Policy mirrors the RVM flush
+// discipline: wal.SyncEachRecord for no-loss durability,
+// wal.SyncInterval with ~30s for the paper's flush window (bounded loss,
+// §4.3.1), wal.SyncNone for benchmarks.
+type JournalOptions struct {
+	FS           crashfs.FS
+	Dir          string
+	Policy       wal.SyncPolicy
+	Interval     time.Duration
+	SegmentBytes int64
+}
+
+// RecoveryInfo reports what AttachJournal reconstructed.
+type RecoveryInfo struct {
+	SnapshotLoaded  bool
+	EntriesReplayed int
+	WAL             wal.RecoveryStats
+}
+
+// journal is the attached durability state. Its mutex is held across the
+// WAL write AND the in-memory application of each mutation, so the LSN
+// order in the journal always matches the order the log saw; it is never
+// held while Venus.mu is held by the same goroutine (all journaled call
+// sites sit outside Venus.mu).
+type journal struct {
+	mu  sync.Mutex
+	fs  crashfs.FS
+	dir string
+	w   *wal.WAL
+	lsn uint64
+	err error // first failure on a best-effort path, healed by Checkpoint
+}
+
+func (j *journal) snapshotPath() string { return filepath.Join(j.dir, "snapshot") }
+
+// writeLocked frames e into the WAL with the next LSN. Caller holds j.mu.
+func (j *journal) writeLocked(e journalEntry) error {
+	e.LSN = j.lsn + 1
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return err
+	}
+	if err := j.w.Append(buf.Bytes()); err != nil {
+		return err
+	}
+	j.lsn = e.LSN
+	return nil
+}
+
+// AttachJournal recovers durable state from opts.Dir (snapshot + WAL
+// replay) and begins journaling every subsequent CML and HDB mutation.
+// Volumes must already be mounted — the journal names volumes, it does
+// not describe them — so the recovery sequence is New, Mount each
+// volume, AttachJournal. A torn WAL tail (crash mid-append) is truncated
+// by wal.Open and never replayed.
+func (v *Venus) AttachJournal(opts JournalOptions) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	if opts.FS == nil || opts.Dir == "" {
+		return info, errors.New("venus: journal needs FS and Dir")
+	}
+	if v.journalRef() != nil {
+		return info, errors.New("venus: journal already attached")
+	}
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
+		return info, err
+	}
+
+	j := &journal{fs: opts.FS, dir: opts.Dir}
+
+	// Snapshot first: it carries the LSN watermark that tells us which
+	// WAL entries are already reflected in it (a crash between making
+	// the snapshot durable and resetting the WAL must not double-apply).
+	var watermark uint64
+	if f, err := opts.FS.Open(j.snapshotPath()); err == nil {
+		img, derr := decodeStateImage(f)
+		_ = f.Close()
+		if derr != nil {
+			return info, fmt.Errorf("venus: journal snapshot: %w", derr)
+		}
+		if err := v.installImage(img); err != nil {
+			return info, err
+		}
+		watermark = img.JournalLSN
+		info.SnapshotLoaded = true
+	} else if !crashfs.IsNotExist(err) {
+		return info, err
+	}
+
+	w, stats, err := wal.Open(wal.Options{
+		FS:           opts.FS,
+		Dir:          filepath.Join(opts.Dir, "wal"),
+		SegmentBytes: opts.SegmentBytes,
+		Policy:       opts.Policy,
+		Interval:     opts.Interval,
+		Clock:        v.clock,
+	}, func(payload []byte) error {
+		var e journalEntry
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+			return fmt.Errorf("venus: journal entry: %w", err)
+		}
+		if e.LSN > j.lsn {
+			j.lsn = e.LSN
+		}
+		if e.LSN <= watermark {
+			return nil // already in the snapshot
+		}
+		info.EntriesReplayed++
+		return v.replayEntry(e)
+	})
+	if err != nil {
+		return info, fmt.Errorf("venus: journal open: %w", err)
+	}
+	if j.lsn < watermark {
+		j.lsn = watermark
+	}
+	j.w = w
+	info.WAL = stats
+
+	v.finishRestore()
+	v.mu.Lock()
+	v.journal = j
+	v.mu.Unlock()
+	return info, nil
+}
+
+// replayEntry re-applies one journal entry to the in-memory logs and
+// HDB. Cache reconstruction is deferred to finishRestore so drops
+// replayed after appends never leave stale cache state behind.
+func (v *Venus) replayEntry(e journalEntry) error {
+	switch e.Op {
+	case jAppend, jDrop:
+		v.mu.Lock()
+		vc := v.volumes[e.Volume]
+		v.mu.Unlock()
+		if vc == nil {
+			return fmt.Errorf("venus: journal names unmounted volume %q", e.Volume)
+		}
+		if e.Op == jAppend {
+			vc.log.Append(e.Rec, e.Now)
+			return nil
+		}
+		seqs := make(map[uint64]bool, len(e.Seqs))
+		for _, s := range e.Seqs {
+			seqs[s] = true
+		}
+		vc.log.Remove(seqs)
+	case jHoardAdd:
+		hdb := e.HDB
+		v.mu.Lock()
+		v.hdb[hdb.Path] = &hdb
+		v.mu.Unlock()
+	case jHoardRemove:
+		v.mu.Lock()
+		delete(v.hdb, e.Path)
+		v.mu.Unlock()
+	default:
+		return fmt.Errorf("venus: unknown journal op %d", e.Op)
+	}
+	return nil
+}
+
+// journalRef returns the attached journal, if any.
+func (v *Venus) journalRef() *journal {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.journal
+}
+
+// logAppend makes rec durable (when a journal is attached) and appends
+// it to vc's CML. On journal failure the log is left untouched and the
+// error is returned; the caller must not apply the mutation locally —
+// an update that cannot be made persistent must not exist only in
+// volatile memory, or a crash would silently lose it (§4.3.1).
+func (v *Venus) logAppend(vc *vclient, rec cml.Record, now time.Time) error {
+	j := v.journalRef()
+	if j == nil {
+		vc.log.Append(rec, now)
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.writeLocked(journalEntry{Op: jAppend, Volume: vc.info.Name, Rec: rec, Now: now}); err != nil {
+		return fmt.Errorf("venus: journal append: %w", err)
+	}
+	vc.log.Append(rec, now)
+	return nil
+}
+
+// logDrop journals the removal of seqs from vc's CML after the server
+// has durably applied (or rejected as conflicts) those records. The
+// server's state is already authoritative here, so a journal failure
+// cannot be rolled back; it is remembered and healed by the next
+// Checkpoint, whose snapshot captures the post-drop log.
+func (v *Venus) logDrop(vc *vclient, seqs map[uint64]bool) {
+	j := v.journalRef()
+	if j == nil || len(seqs) == 0 {
+		return
+	}
+	list := make([]uint64, 0, len(seqs))
+	for s := range seqs {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.writeLocked(journalEntry{Op: jDrop, Volume: vc.info.Name, Seqs: list}); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// journalHDB journals one hoard-database change, best-effort like
+// logDrop (the HDB is a preference, not an update; losing one is an
+// inconvenience, not data loss).
+func (v *Venus) journalHDB(e journalEntry) {
+	j := v.journalRef()
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.writeLocked(e); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Checkpoint writes a durable snapshot carrying the current LSN and
+// truncates the WAL — the analogue of an RVM truncation. Appends are
+// blocked for the duration (j.mu), so the snapshot and its watermark
+// are exactly consistent. A checkpoint also heals a journal degraded by
+// a best-effort write failure: the snapshot captures the current state,
+// so the missed entry no longer matters.
+func (v *Venus) Checkpoint() error {
+	j := v.journalRef()
+	if j == nil {
+		return errors.New("venus: no journal attached")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := v.saveStateFS(j.fs, j.snapshotPath(), j.lsn); err != nil {
+		return fmt.Errorf("venus: checkpoint: %w", err)
+	}
+	if err := j.w.Reset(); err != nil {
+		return fmt.Errorf("venus: checkpoint: reset WAL: %w", err)
+	}
+	j.err = nil
+	return nil
+}
+
+// JournalErr reports (without clearing) the first failure on a
+// best-effort journaling path since the last successful Checkpoint.
+func (v *Venus) JournalErr() error {
+	j := v.journalRef()
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// CloseJournal detaches and closes the journal. Subsequent mutations are
+// volatile again (tests use this to model an unclean shutdown AFTER a
+// point of interest).
+func (v *Venus) CloseJournal() error {
+	v.mu.Lock()
+	j := v.journal
+	v.journal = nil
+	v.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Close()
+}

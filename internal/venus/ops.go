@@ -490,13 +490,16 @@ func (v *Venus) WriteFile(path string, data []byte) error {
 		v.transition(Emulating, "server unreachable")
 	}
 
-	// Weakly connected or disconnected: log and apply locally.
+	// Weakly connected or disconnected: log (durably, journal first) and
+	// apply locally.
 	now := v.clock.Now()
-	vc.log.Append(cml.Record{
+	if err := v.logAppend(vc, cml.Record{
 		Kind: cml.Store, FID: fid, Parent: parent.obj.Status.FID, Name: name,
 		Data: append([]byte(nil), data...), Length: int64(len(data)),
 		ModTime: now, PrevVersion: prevVersion, Owner: v.owner(),
-	}, now)
+	}, now); err != nil {
+		return err
+	}
 	v.mu.Lock()
 	before := f.dataBytes()
 	if v.cfg.EnableDeltas && !f.dirty && !f.placeholder &&
@@ -575,10 +578,12 @@ func (v *Venus) makeObject(vc *vclient, parent *fso, name string, typ codafs.Obj
 	case codafs.Symlink:
 		kind = cml.MakeSymlink
 	}
-	vc.log.Append(cml.Record{
+	if err := v.logAppend(vc, cml.Record{
 		Kind: kind, FID: fid, Parent: parentFID, Name: name, Target: target,
 		ModTime: now, Owner: v.owner(), PrevParentVersion: parent.obj.Status.Version,
-	}, now)
+	}, now); err != nil {
+		return err
+	}
 	v.mu.Lock()
 	st := codafs.Status{
 		FID: fid, Type: typ, ModTime: now, Owner: v.owner(), Links: 1,
@@ -666,10 +671,12 @@ func (v *Venus) removeCommon(path string, rmdir bool) error {
 	if rmdir {
 		kind = cml.Rmdir
 	}
-	vc.log.Append(cml.Record{
+	if err := v.logAppend(vc, cml.Record{
 		Kind: kind, FID: fid, Parent: parentFID, Name: name,
 		PrevVersion: prevVersion, Owner: v.owner(),
-	}, now)
+	}, now); err != nil {
+		return err
+	}
 	v.mu.Lock()
 	v.dropChildLocked(parent, name, fid)
 	parent.dirty = true
@@ -742,10 +749,12 @@ func (v *Venus) Rename(oldPath, newPath string) error {
 	}
 
 	now := v.clock.Now()
-	vcOld.log.Append(cml.Record{
+	if err := v.logAppend(vcOld, cml.Record{
 		Kind: cml.Rename, FID: fid, Parent: oldPFID, Name: oldName,
 		NewParent: newPFID, NewName: newName, Owner: v.owner(),
-	}, now)
+	}, now); err != nil {
+		return err
+	}
 	apply()
 	v.mu.Lock()
 	oldParent.dirty = true
@@ -808,9 +817,11 @@ func (v *Venus) Link(existingPath, newPath string) error {
 	}
 
 	now := v.clock.Now()
-	vcT.log.Append(cml.Record{
+	if err := v.logAppend(vcT, cml.Record{
 		Kind: cml.Link, FID: fid, Parent: parentFID, Name: name, Owner: v.owner(),
-	}, now)
+	}, now); err != nil {
+		return err
+	}
 	apply()
 	v.mu.Lock()
 	parent.dirty = true
@@ -849,10 +860,12 @@ func (v *Venus) SetAttr(path string, mode uint32) error {
 	}
 
 	now := v.clock.Now()
-	vc.log.Append(cml.Record{
+	if err := v.logAppend(vc, cml.Record{
 		Kind: cml.SetAttr, FID: fid, Mode: mode, ModTime: now,
 		PrevVersion: prev, Owner: v.owner(),
-	}, now)
+	}, now); err != nil {
+		return err
+	}
 	v.mu.Lock()
 	f.obj.Status.Mode = mode
 	f.obj.Status.ModTime = now

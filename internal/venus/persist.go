@@ -5,11 +5,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 
 	"repro/internal/cml"
 	"repro/internal/codafs"
+	"repro/internal/crashfs"
 )
 
 // Persistence for the state that must survive a client crash or restart.
@@ -18,7 +18,8 @@ import (
 // persistence of updates on a Coda client is assured by the CML" (§4.3.1).
 // Here the CML of every volume and the hoard database are serialized
 // together; cached file contents are an optimization and are refetched
-// rather than persisted.
+// rather than persisted. See journal.go for the WAL that keeps the image
+// current between snapshots.
 
 // stateImage is the serialized form of Venus's durable state. Each CML is
 // pre-serialized to bytes so the whole image travels through one gob
@@ -27,15 +28,22 @@ type stateImage struct {
 	HDB     []HDBEntry
 	Volumes []string // names, aligned with Logs
 	Logs    [][]byte // cml.Log.Save output per volume
+	// JournalLSN is the watermark of the attached journal at snapshot
+	// time: WAL entries at or below it are already reflected in this
+	// image and must not be replayed over it. Zero when no journal was
+	// attached.
+	JournalLSN uint64
 }
 
 // SaveState writes the hoard database and every volume's CML to w.
 // Call while no reintegration is in flight (e.g. at shutdown); a log is
 // saved without its barrier, so an interrupted reintegration is simply
 // retried after restart (the server's atomicity makes the retry safe).
-func (v *Venus) SaveState(w io.Writer) error {
+func (v *Venus) SaveState(w io.Writer) error { return v.saveState(w, 0) }
+
+func (v *Venus) saveState(w io.Writer, lsn uint64) error {
 	v.mu.Lock()
-	img := stateImage{}
+	img := stateImage{JournalLSN: lsn}
 	for _, e := range v.hdb {
 		img.HDB = append(img.HDB, *e)
 	}
@@ -59,18 +67,44 @@ func (v *Venus) SaveState(w io.Writer) error {
 	return nil
 }
 
+// decodeStateImage decodes a stateImage, converting any decoder panic on
+// a truncated or corrupted stream into an error (a half-written state
+// file must degrade to "start fresh or recover from the journal", never
+// crash the client).
+func decodeStateImage(r io.Reader) (img stateImage, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			img = stateImage{}
+			err = fmt.Errorf("venus: load state: corrupted image: %v", p)
+		}
+	}()
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return stateImage{}, fmt.Errorf("venus: load state: %w", err)
+	}
+	return img, nil
+}
+
 // LoadState restores state saved by SaveState. Volumes must already be
 // mounted (Mount re-establishes server identity); CMLs for volumes that are
-// not mounted are skipped with an error. Loaded records reintegrate through
+// not mounted are rejected with an error. Loaded records reintegrate through
 // the ordinary trickle path once their age qualifies (their logged times
 // are preserved, so a restart does not reset the aging window).
 func (v *Venus) LoadState(r io.Reader) error {
-	dec := gob.NewDecoder(r)
-	var img stateImage
-	if err := dec.Decode(&img); err != nil {
-		return fmt.Errorf("venus: load state: %w", err)
+	img, err := decodeStateImage(r)
+	if err != nil {
+		return err
 	}
+	if err := v.installImage(img); err != nil {
+		return err
+	}
+	v.finishRestore()
+	return nil
+}
 
+// installImage installs the image's HDB and per-volume CMLs. Cache
+// reconstruction is deferred to finishRestore so a journal replay can
+// still mutate the logs in between (AttachJournal's recovery sequence).
+func (v *Venus) installImage(img stateImage) error {
 	v.mu.Lock()
 	for i := range img.HDB {
 		e := img.HDB[i]
@@ -90,21 +124,38 @@ func (v *Venus) LoadState(r io.Reader) error {
 			return fmt.Errorf("venus: CML for unmounted volume %q", name)
 		}
 		vc.log = log
-		// Replay the restored records into the cache so the local name
-		// space shows the offline work again (the paper's Venus persists
-		// its whole cache in RVM; here contents travel with the CML).
-		for _, rec := range log.Records() {
-			v.applyRestoredRecordLocked(rec)
-		}
 		v.mu.Unlock()
 	}
+	return nil
+}
+
+// finishRestore replays the restored CML records into the cache so the
+// local name space shows the offline work again (the paper's Venus
+// persists its whole cache in RVM; here contents travel with the CML),
+// re-seats the FID allocator above every restored allocation, and moves
+// to write-disconnected if updates are pending.
+func (v *Venus) finishRestore() {
+	v.mu.Lock()
+	for _, vc := range v.volumes {
+		for _, rec := range vc.log.Records() {
+			v.applyRestoredRecordLocked(rec)
+			// FIDs this client minted encode ClientID in the top half of
+			// the vnode; continue allocating above the restored ones so a
+			// post-recovery create cannot collide with a logged one.
+			if rec.FID.Vnode>>32 == uint64(v.cfg.ClientID) {
+				if low := rec.FID.Vnode & 0xffffffff; low > v.nextVnode {
+					v.nextVnode = low
+				}
+			}
+		}
+	}
+	v.mu.Unlock()
 	// A client restarting with pending updates is not fully synchronized:
 	// run write-disconnected until the restored CML drains (the trickle
 	// daemon promotes back to hoarding afterwards).
 	if v.CMLRecords() > 0 && v.State() == Hoarding {
 		v.transition(WriteDisconnected, "restored CML")
 	}
-	return nil
 }
 
 // applyRestoredRecordLocked re-applies one restored CML record to the local
@@ -184,30 +235,52 @@ func (v *Venus) applyRestoredRecordLocked(rec *cml.Record) {
 	}
 }
 
-// SaveStateFile persists to path atomically (write + rename).
-func (v *Venus) SaveStateFile(path string) error {
+// SaveStateFS persists to path atomically on fs, with the full fsync
+// discipline: file contents are synced before the rename, and the parent
+// directory is synced after it — without the directory sync the rename
+// itself is volatile and a crash can resurrect the previous image (or
+// leave nothing at all).
+func (v *Venus) SaveStateFS(fs crashfs.FS, path string) error {
+	return v.saveStateFS(fs, path, 0)
+}
+
+func (v *Venus) saveStateFS(fs crashfs.FS, path string, lsn uint64) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := v.SaveState(f); err != nil {
+	if err := v.saveState(f, lsn); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fs.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
 }
 
-// LoadStateFile restores from a file written by SaveStateFile. A missing
+// SaveStateFile persists to path atomically on the real filesystem.
+func (v *Venus) SaveStateFile(path string) error {
+	return v.SaveStateFS(crashfs.OS{}, path)
+}
+
+// LoadStateFS restores from a file written by SaveStateFS. A missing
 // file is not an error (first run).
-func (v *Venus) LoadStateFile(path string) error {
-	f, err := os.Open(filepath.Clean(path))
-	if os.IsNotExist(err) {
+func (v *Venus) LoadStateFS(fs crashfs.FS, path string) error {
+	f, err := fs.Open(path)
+	if crashfs.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
@@ -215,4 +288,10 @@ func (v *Venus) LoadStateFile(path string) error {
 	}
 	defer f.Close()
 	return v.LoadState(f)
+}
+
+// LoadStateFile restores from a file written by SaveStateFile. A missing
+// file is not an error (first run).
+func (v *Venus) LoadStateFile(path string) error {
+	return v.LoadStateFS(crashfs.OS{}, path)
 }

@@ -1,0 +1,117 @@
+package venus_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/crashfs"
+	"repro/internal/venus"
+)
+
+// Pins the durability discipline of SaveStateFS: the image is written to
+// a temp file, fsynced, renamed into place, and the parent directory is
+// fsynced. A power cut immediately after SaveStateFS returns must keep
+// the new image; a cut in the middle of a save must keep the old one
+// intact — never a torn mixture. The pre-fix SaveStateFile renamed
+// without any fsync, so a crash could lose both.
+func TestVenusSaveStateFSCrashSafety(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"doc": "server copy"})
+	mem := crashfs.NewMem()
+	const path = "venus.state"
+	w.sim.Run(func() {
+		v1 := w.venus("c1", venus.Config{ClientID: 3, AgingWindow: time.Hour})
+		mustMount(t, v1, "usr")
+		if _, err := v1.ReadFile("/coda/usr/doc"); err != nil {
+			t.Fatal(err)
+		}
+		w.net.SetUp("c1", "server", false)
+		v1.Disconnect()
+		if err := v1.WriteFile("/coda/usr/doc", []byte("first edit")); err != nil {
+			t.Fatal(err)
+		}
+		if err := v1.SaveStateFS(mem, path); err != nil {
+			t.Fatal(err)
+		}
+
+		// Power cut right after the save: the image survives.
+		mem.Crash()
+		mem.Reboot()
+
+		// A second save is interrupted mid-write: the first image must
+		// still load.
+		if err := v1.WriteFile("/coda/usr/second.txt", []byte("second edit")); err != nil {
+			t.Fatal(err)
+		}
+		records := v1.CMLRecords()
+		mem.ArmCrash(1, 0)
+		if err := v1.SaveStateFS(mem, path); err == nil {
+			t.Fatal("SaveStateFS succeeded across an armed crash")
+		}
+		mem.Reboot()
+		v1.Close()
+		w.net.SetUp("c1", "server", true)
+
+		v2 := w.venus("c1b", venus.Config{ClientID: 3, AgingWindow: time.Hour})
+		mustMount(t, v2, "usr")
+		if err := v2.LoadStateFS(mem, path); err != nil {
+			t.Fatalf("image lost after interrupted re-save: %v", err)
+		}
+		got := v2.CMLRecords()
+		if got == 0 || got >= records {
+			t.Errorf("restored CML has %d records; want the first save's prefix (0 < n < %d)", got, records)
+		}
+		if data, err := v2.ReadFile("/coda/usr/doc"); err != nil || string(data) != "first edit" {
+			t.Errorf("restored doc = %q, %v", data, err)
+		}
+	})
+}
+
+// TestVenusLoadStateCorrupted: a truncated or bit-flipped state image
+// must come back as an error, never a panic (gob panics internally on
+// some corruptions).
+func TestVenusLoadStateCorrupted(t *testing.T) {
+	w := newWorld(t)
+	w.seed("usr", map[string]string{"doc": "x"})
+	w.sim.Run(func() {
+		v1 := w.venus("c1", venus.Config{ClientID: 8, AgingWindow: time.Hour})
+		mustMount(t, v1, "usr")
+		if _, err := v1.ReadFile("/coda/usr/doc"); err != nil {
+			t.Fatal(err)
+		}
+		w.net.SetUp("c1", "server", false)
+		v1.Disconnect()
+		if err := v1.WriteFile("/coda/usr/doc", []byte("edited")); err != nil {
+			t.Fatal(err)
+		}
+		v1.HoardAdd("/coda/usr/doc", 500, false)
+		var buf bytes.Buffer
+		if err := v1.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		img := buf.Bytes()
+		v1.Close()
+		w.net.SetUp("c1", "server", true)
+
+		fresh := func(name string) *venus.Venus {
+			v := w.venus(name, venus.Config{ClientID: 8, AgingWindow: time.Hour})
+			mustMount(t, v, "usr")
+			return v
+		}
+		for i, n := range []int{0, 1, 5, len(img) / 3, len(img) / 2, len(img) - 1} {
+			v := fresh("t" + string(rune('a'+i)))
+			if err := v.LoadState(bytes.NewReader(img[:n])); err == nil {
+				t.Errorf("LoadState accepted a %d/%d-byte prefix", n, len(img))
+			}
+			v.Close()
+		}
+		v := fresh("flip")
+		for off := 0; off < len(img); off += 11 {
+			bad := append([]byte(nil), img...)
+			bad[off] ^= 0x5a
+			_ = v.LoadState(bytes.NewReader(bad)) // must not panic
+		}
+		v.Close()
+	})
+}

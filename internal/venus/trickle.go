@@ -150,7 +150,14 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 			shippedBytes += r.Size()
 		}
 		shippedBytes += deltaWire
+		committed := make(map[uint64]bool, len(records))
+		for _, r := range records {
+			committed[r.Seq] = true
+		}
 		vc.log.CommitReintegration()
+		// The server holds these records now: journal their removal so a
+		// crash does not resurrect (and re-ship) them.
+		v.logDrop(vc, committed)
 		v.mu.Lock()
 		v.stats.Reintegrations++
 		v.stats.ShippedRecords += int64(len(records))
@@ -209,6 +216,7 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 	v.mu.Unlock()
 	if len(seqs) > 0 {
 		vc.log.Remove(seqs)
+		v.logDrop(vc, seqs)
 	}
 	return false
 }
@@ -366,6 +374,7 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 		shippedBytes += r.Size()
 	}
 	vc.log.CommitSubtree(seqs)
+	v.logDrop(vc, seqs)
 	v.mu.Lock()
 	v.stats.Reintegrations++
 	v.stats.ShippedRecords += int64(len(records))

@@ -169,6 +169,7 @@ type Venus struct {
 	netCost    NetworkCost
 	stats      Stats
 	closed     bool
+	journal    *journal // durability WAL; nil until AttachJournal
 
 	stopped chan struct{}
 }

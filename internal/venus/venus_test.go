@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -57,8 +58,16 @@ func (w *world) seed(vol string, files map[string]string) {
 	if _, err := w.srv.CreateVolume(vol); err != nil {
 		w.t.Fatal(err)
 	}
-	for path, data := range files {
-		if _, err := w.srv.WriteFile(vol, path, []byte(data)); err != nil {
+	// Sorted order: FIDs and version stamps are assigned in creation
+	// order, so deterministic seeding gives byte-identical server state
+	// across runs (the crash-matrix tests compare snapshots by bytes).
+	paths := make([]string, 0, len(files))
+	for path := range files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := w.srv.WriteFile(vol, path, []byte(files[path])); err != nil {
 			w.t.Fatal(err)
 		}
 	}

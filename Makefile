@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench vet fmt clean crash
+.PHONY: all build test race lint bench bench-json vet fmt clean crash
 
 all: build vet lint test
 
@@ -25,6 +25,11 @@ lint:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark run: every figure's series plus a
+# deterministic metrics-registry snapshot per run, as one JSON file.
+bench-json:
+	$(GO) run ./cmd/codabench -quick -json bench.json
 
 vet:
 	$(GO) vet ./...

@@ -232,9 +232,9 @@ func BenchmarkRPC2RoundTrip(b *testing.B) {
 	net.SetDefaults(netsim.Ethernet.Params())
 	srv := rpc2.NewNode(s, net.Host("server"), netmon.NewMonitor(s), func(src string, body []byte) ([]byte, error) {
 		return body, nil
-	})
+	}, nil)
 	_ = srv
-	c := rpc2.NewNode(s, net.Host("client"), netmon.NewMonitor(s), nil)
+	c := rpc2.NewNode(s, net.Host("client"), netmon.NewMonitor(s), nil, nil)
 	body, _ := wire.Encode(wire.GetAttr{FID: codafs.FID{Volume: 1, Vnode: 2, Unique: 3}})
 	b.ResetTimer()
 	s.Run(func() {
@@ -255,8 +255,8 @@ func BenchmarkSFTPTransfer1MB(b *testing.B) {
 		s := simtime.NewSim(simtime.Epoch1995)
 		net := netsim.New(s, int64(i))
 		net.SetDefaults(netsim.Ethernet.Params())
-		a := rpc2.NewNode(s, net.Host("a"), netmon.NewMonitor(s), nil)
-		z := rpc2.NewNode(s, net.Host("z"), netmon.NewMonitor(s), nil)
+		a := rpc2.NewNode(s, net.Host("a"), netmon.NewMonitor(s), nil, nil)
+		z := rpc2.NewNode(s, net.Host("z"), netmon.NewMonitor(s), nil, nil)
 		s.Run(func() {
 			done := simtime.NewQueue[error](s)
 			s.Go(func() { done.Put(a.Transfer("z", 1, data)) })

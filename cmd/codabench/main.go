@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	codabench [-fig 1,4,7,8,9,10,11,12] [-ablations] [-quick] [-seed N] [-trials N] [-o out.txt]
+//	codabench [-fig 1,4,7,8,9,10,11,12] [-ablations] [-quick] [-seed N] [-trials N] [-o out.txt] [-json out.json]
 //
 // -fig selects figures (default all); Figure 12 includes Figures 13 and 14.
 // -quick runs reduced workloads (for smoke testing); the full run matches
 // the scales recorded in EXPERIMENTS.md.
+// -json writes a machine-readable record of every run: an array of
+// {figure, params, series, metrics} objects, where series is the typed
+// figure result and metrics holds the deterministic obs.Registry dumps
+// captured by the runs that produced it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +26,22 @@ import (
 	"repro/internal/experiments"
 )
 
+// renderable is what every figure and ablation result satisfies.
+type renderable interface{ Render() string }
+
+// snapshotter is satisfied by results that embed experiments.ObsSnapshots.
+type snapshotter interface {
+	RegistrySnapshots() []experiments.RegistrySnapshot
+}
+
+// jsonRun is one element of the -json output array.
+type jsonRun struct {
+	Figure  string                         `json:"figure"`
+	Params  experiments.Options            `json:"params"`
+	Series  any                            `json:"series"`
+	Metrics []experiments.RegistrySnapshot `json:"metrics"`
+}
+
 func main() {
 	figs := flag.String("fig", "1,4,7,8,9,10,11,12", "comma-separated figure numbers to run")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
@@ -28,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "random seed")
 	trials := flag.Int("trials", 0, "trials per cell (0 = paper's default of 5)")
 	out := flag.String("o", "", "also write output to this file")
+	jsonOut := flag.String("json", "", "write {figure, params, series, metrics} records to this file")
 	flag.Parse()
 
 	opts := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
@@ -48,32 +70,64 @@ func main() {
 		selected[strings.TrimSpace(f)] = true
 	}
 
-	run := func(fig string, fn func() string) {
+	var runs []jsonRun
+	record := func(fig string, res renderable) {
+		if *jsonOut == "" {
+			return
+		}
+		jr := jsonRun{Figure: fig, Params: opts, Series: res}
+		if s, ok := res.(snapshotter); ok {
+			jr.Metrics = s.RegistrySnapshots()
+		}
+		runs = append(runs, jr)
+	}
+
+	run := func(fig string, fn func() renderable) {
 		if !selected[fig] {
 			return
 		}
 		start := time.Now()
 		fmt.Fprintf(w, "==== Figure %s ====\n", fig)
-		fmt.Fprint(w, fn())
+		res := fn()
+		fmt.Fprint(w, res.Render())
 		fmt.Fprintf(w, "(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		record(fig, res)
 	}
 
-	run("1", func() string { return experiments.Figure1(opts).Render() })
-	run("4", func() string { return experiments.Figure4(opts).Render() })
-	run("7", func() string { return experiments.Figure7(opts).Render() })
-	run("8", func() string { return experiments.Figure8(opts).Render() })
-	run("9", func() string { return experiments.Figure9(opts).Render() })
-	run("10", func() string { return experiments.Figure10(opts).Render() })
-	run("11", func() string { return experiments.Figure11(opts).Render() })
-	run("12", func() string { return experiments.Figure12(opts).Render() })
+	run("1", func() renderable { return experiments.Figure1(opts) })
+	run("4", func() renderable { return experiments.Figure4(opts) })
+	run("7", func() renderable { return experiments.Figure7(opts) })
+	run("8", func() renderable { return experiments.Figure8(opts) })
+	run("9", func() renderable { return experiments.Figure9(opts) })
+	run("10", func() renderable { return experiments.Figure10(opts) })
+	run("11", func() renderable { return experiments.Figure11(opts) })
+	run("12", func() renderable { return experiments.Figure12(opts) })
 
 	if *ablations {
 		fmt.Fprintln(w, "==== Ablations ====")
-		fmt.Fprint(w, experiments.AblationAging(opts).Render())
-		fmt.Fprint(w, experiments.AblationLogOptimizations(opts).Render())
-		fmt.Fprint(w, experiments.AblationChunkSize(opts).Render())
-		fmt.Fprint(w, experiments.AblationVolumeCallbacks(opts).Render())
-		fmt.Fprint(w, experiments.AblationAdaptiveRTO(opts).Render())
-		fmt.Fprint(w, experiments.AblationDeltas(opts).Render())
+		for _, fn := range []func(experiments.Options) experiments.AblationResult{
+			experiments.AblationAging,
+			experiments.AblationLogOptimizations,
+			experiments.AblationChunkSize,
+			experiments.AblationVolumeCallbacks,
+			experiments.AblationAdaptiveRTO,
+			experiments.AblationDeltas,
+		} {
+			res := fn(opts)
+			fmt.Fprint(w, res.Render())
+			record("ablation:"+res.Name, res)
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(runs, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

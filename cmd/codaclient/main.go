@@ -16,12 +16,14 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/venus"
 )
@@ -31,6 +33,7 @@ func main() {
 	mount := flag.String("mount", "usr", "volume to mount at startup")
 	id := flag.Uint("id", 1, "client id (unique per server)")
 	stateFile := flag.String("state", "", "persist CML and hoard database to this file across restarts")
+	metrics := flag.String("metrics", "", "serve Prometheus metrics on this HTTP address (e.g. :9702)")
 	flag.Parse()
 
 	conn, err := netsim.ListenUDP(":0")
@@ -38,12 +41,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry(simtime.Real{})
+	}
 	v := venus.New(simtime.Real{}, conn, venus.Config{
 		Server:        *serverAddr,
 		ClientID:      uint32(*id),
 		ProbeInterval: 30 * time.Second,
 		Advisor:       &terminalAdvisor{in: bufio.NewReader(os.Stdin)},
+		Obs:           reg,
 	})
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, obs.Handler(reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+			}
+		}()
+	}
 	if err := v.Mount(*mount); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -216,7 +231,7 @@ status:     state | cml | cache | conflicts | stats
 			fmt.Println("server reachable")
 		}
 	case "bw":
-		fmt.Printf("estimated bandwidth: %d b/s\n", v.Bandwidth())
+		fmt.Printf("estimated bandwidth: %d b/s\n", v.ServerPeer().Bandwidth())
 	case "state":
 		fmt.Println(v.State())
 	case "cache":

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/simtime"
 )
@@ -30,6 +32,7 @@ func main() {
 	listen := flag.String("listen", ":8701", "UDP address to listen on")
 	seedFiles := flag.Int("seed-files", 0, "pre-populate each volume with N files")
 	stateFile := flag.String("state", "", "persist volumes to this file (load at boot, save at shutdown)")
+	metrics := flag.String("metrics", "", "serve Prometheus metrics on this HTTP address (e.g. :9701)")
 	var vols volList
 	flag.Var(&vols, "vol", "volume to export (repeatable; default usr)")
 	flag.Parse()
@@ -41,7 +44,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	srv := server.New(simtime.Real{}, conn)
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry(simtime.Real{})
+	}
+	srv := server.New(simtime.Real{}, conn, server.WithObs(reg))
+	if *metrics != "" {
+		go func() {
+			log.Printf("metrics on http://%s/metrics", *metrics)
+			if err := http.ListenAndServe(*metrics, obs.Handler(reg)); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
 	if *stateFile != "" {
 		if err := srv.LoadStateFile(*stateFile); err != nil {
 			log.Fatalf("load state: %v", err)

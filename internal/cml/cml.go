@@ -107,6 +107,26 @@ func (r *Record) Size() int64 {
 	return int64(RecordOverhead + len(r.Name) + len(r.NewName) + len(r.Target) + len(r.Data))
 }
 
+// CancelClass classifies which optimization rule eliminated a record,
+// matching the cancellation taxonomy of §4.3.2.
+type CancelClass string
+
+// The cancellation classes applied by optimizeLocked.
+const (
+	// CancelStoreOverwrite: a store overrides an earlier store of the
+	// same file.
+	CancelStoreOverwrite CancelClass = "store_overwrite"
+	// CancelSetAttrOverwrite: a setattr overrides an earlier setattr of
+	// the same object.
+	CancelSetAttrOverwrite CancelClass = "setattr_overwrite"
+	// CancelIdentity: a remove annihilates an object whose whole
+	// lifetime is inside the log (create+store+unlink).
+	CancelIdentity CancelClass = "identity"
+	// CancelRemoveMoot: a remove of a pre-existing object makes pending
+	// stores and setattrs on it moot.
+	CancelRemoveMoot CancelClass = "remove_moot"
+)
+
 // Log is the client modify log for one volume.
 type Log struct {
 	mu         sync.Mutex
@@ -116,6 +136,7 @@ type Log struct {
 	savedBytes int64
 	savedRecs  int64
 	optimize   bool
+	onCancel   func(class CancelClass, records int, bytes int64)
 }
 
 // NewLog returns an empty log with optimizations enabled.
@@ -128,6 +149,17 @@ func (l *Log) SetOptimize(on bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.optimize = on
+}
+
+// SetCancelObserver installs a callback invoked whenever optimization
+// cancels records, with the rule that fired and the records/bytes it
+// eliminated. The callback runs with the log's lock held: it must be
+// cheap and must not call back into the Log (Venus uses it to bump
+// per-class obs counters).
+func (l *Log) SetCancelObserver(fn func(class CancelClass, records int, bytes int64)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onCancel = fn
 }
 
 // Append adds r to the log at time now, first applying cancellation rules
@@ -156,11 +188,11 @@ func (l *Log) optimizeLocked(r *Record) bool {
 	switch r.Kind {
 	case Store:
 		// A store overrides any earlier store of the same file.
-		l.cancelLocked(func(o *Record) bool {
+		l.cancelLocked(CancelStoreOverwrite, func(o *Record) bool {
 			return o.Kind == Store && o.FID == r.FID
 		})
 	case SetAttr:
-		l.cancelLocked(func(o *Record) bool {
+		l.cancelLocked(CancelSetAttrOverwrite, func(o *Record) bool {
 			return o.Kind == SetAttr && o.FID == r.FID
 		})
 	case Remove, Rmdir:
@@ -183,15 +215,18 @@ func (l *Log) optimizeLocked(r *Record) bool {
 			// inside the log; everything about it — including this
 			// remove — vanishes (the paper's create+store+unlink
 			// example).
-			l.cancelLocked(func(o *Record) bool { return o.FID == r.FID })
+			l.cancelLocked(CancelIdentity, func(o *Record) bool { return o.FID == r.FID })
 			l.savedBytes += r.Size()
 			l.savedRecs++
+			if l.onCancel != nil {
+				l.onCancel(CancelIdentity, 1, r.Size())
+			}
 			return true
 		}
 		// The object predates the log: pending stores and setattrs on
 		// it are moot once it is removed.
 		if r.Kind == Remove {
-			l.cancelLocked(func(o *Record) bool {
+			l.cancelLocked(CancelRemoveMoot, func(o *Record) bool {
 				return (o.Kind == Store || o.Kind == SetAttr) && o.FID == r.FID
 			})
 		}
@@ -221,18 +256,28 @@ func (l *Log) unfrozenLocked() []*Record {
 	return l.records[l.barrier:]
 }
 
-// cancelLocked removes unfrozen records matching pred, crediting savings.
-func (l *Log) cancelLocked(pred func(*Record) bool) {
+// cancelLocked removes unfrozen records matching pred, crediting savings
+// to the given cancellation class.
+func (l *Log) cancelLocked(class CancelClass, pred func(*Record) bool) {
 	kept := l.records[:l.barrier]
+	var recs int
+	var bytes int64
 	for _, o := range l.records[l.barrier:] {
 		if pred(o) {
-			l.savedBytes += o.Size()
-			l.savedRecs++
+			recs++
+			bytes += o.Size()
 			continue
 		}
 		kept = append(kept, o)
 	}
 	l.records = kept
+	if recs > 0 {
+		l.savedBytes += bytes
+		l.savedRecs += int64(recs)
+		if l.onCancel != nil {
+			l.onCancel(class, recs, bytes)
+		}
+	}
 }
 
 // Len returns the number of records in the log.

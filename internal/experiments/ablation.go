@@ -7,6 +7,7 @@ import (
 	"repro/internal/codafs"
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -16,6 +17,7 @@ import (
 // AblationResult compares a design choice against its alternative on one
 // scalar metric.
 type AblationResult struct {
+	ObsSnapshots
 	Name             string
 	Metric           string
 	Baseline         float64 // the paper's design
@@ -35,43 +37,53 @@ func (r AblationResult) Render() string {
 // soon as possible). Without aging, records leave the CML before
 // optimizations can cancel them, so more data crosses the slow link.
 func AblationAging(opts Options) AblationResult {
-	shipped := func(aging time.Duration) float64 {
-		_, st := ablationReplay(opts, venus.Config{
+	res := AblationResult{
+		Name: "aging-window", Metric: "KB shipped over modem",
+		BaselineLabel: "A=600s", AlternativeLabel: "A≈0",
+	}
+	shipped := func(aging time.Duration, label string) float64 {
+		w, st := ablationReplay(opts, venus.Config{
 			AgingWindow:          aging,
 			PinWriteDisconnected: true,
 		}, netsim.Modem)
+		res.addSnapshot(label, w.reg)
 		return float64(st.ShippedBytes) / 1024
 	}
 	// AgingWindow 0 means "default" in Config; use 1ns for "no aging".
-	return AblationResult{
-		Name: "aging-window", Metric: "KB shipped over modem",
-		Baseline: shipped(600 * time.Second), BaselineLabel: "A=600s",
-		Alternative: shipped(time.Nanosecond), AlternativeLabel: "A≈0",
-	}
+	res.Baseline = shipped(600*time.Second, "A=600s")
+	res.Alternative = shipped(time.Nanosecond, "A~0")
+	return res
 }
 
 // AblationLogOptimizations disables CML cancellations entirely.
 func AblationLogOptimizations(opts Options) AblationResult {
-	shipped := func(disable bool) float64 {
-		_, st := ablationReplay(opts, venus.Config{
+	res := AblationResult{
+		Name: "log-optimizations", Metric: "KB shipped over modem",
+		BaselineLabel: "optimized", AlternativeLabel: "disabled",
+	}
+	shipped := func(disable bool, label string) float64 {
+		w, st := ablationReplay(opts, venus.Config{
 			AgingWindow:          600 * time.Second,
 			PinWriteDisconnected: true,
 			DisableLogOptimize:   disable,
 		}, netsim.Modem)
+		res.addSnapshot(label, w.reg)
 		return float64(st.ShippedBytes+0) / 1024
 	}
-	return AblationResult{
-		Name: "log-optimizations", Metric: "KB shipped over modem",
-		Baseline: shipped(false), BaselineLabel: "optimized",
-		Alternative: shipped(true), AlternativeLabel: "disabled",
-	}
+	res.Baseline = shipped(false, "optimized")
+	res.Alternative = shipped(true, "disabled")
+	return res
 }
 
 // AblationChunkSize compares the adaptive chunk (C sized to ~30 s of
 // bandwidth) against fixed tiny and huge chunks, measuring the worst-case
 // foreground fetch delay while trickle reintegration saturates a modem.
 func AblationChunkSize(opts Options) AblationResult {
-	delay := func(chunkSeconds int) float64 {
+	res := AblationResult{
+		Name: "chunk-size", Metric: "worst foreground fetch delay (s) at modem",
+		BaselineLabel: "C=30s·bw", AlternativeLabel: "C=600s·bw",
+	}
+	delay := func(chunkSeconds int, label string) float64 {
 		w := newWorld(opts.Seed + 31)
 		w.mustVol("usr")
 		w.mustWrite("usr", "wanted.txt", make([]byte, 4<<10))
@@ -120,15 +132,14 @@ func AblationChunkSize(opts Options) AblationResult {
 				w.sim.Sleep(5 * time.Second)
 			}
 		})
+		res.addSnapshot(label, w.reg)
 		return seconds(worst)
 	}
 	// ChunkSeconds 30 (default, C=36KB at modem) vs 600 (C=720KB: the
 	// whole backlog in one chunk, starving foreground traffic).
-	return AblationResult{
-		Name: "chunk-size", Metric: "worst foreground fetch delay (s) at modem",
-		Baseline: delay(30), BaselineLabel: "C=30s·bw",
-		Alternative: delay(600), AlternativeLabel: "C=600s·bw",
-	}
+	res.Baseline = delay(30, "C=30s")
+	res.Alternative = delay(600, "C=600s")
+	return res
 }
 
 // AblationVolumeCallbacks is Figure 8's comparison reduced to one number:
@@ -139,8 +150,13 @@ func AblationVolumeCallbacks(opts Options) AblationResult {
 	if opts.Quick {
 		prof.Objects = 200
 	}
+	res := AblationResult{
+		Name: "volume-callbacks", Metric: "modem validation time (s)",
+		BaselineLabel: "volume stamps", AlternativeLabel: "per-object",
+	}
 	timeFor := func(scheme string) float64 {
-		cells := fig8Run(opts, prof, scheme)
+		cells, snap := fig8Run(opts, prof, scheme)
+		res.Snapshots = append(res.Snapshots, snap)
 		for _, c := range cells {
 			if c.Network.Name == "Modem" {
 				return c.Seconds
@@ -148,29 +164,32 @@ func AblationVolumeCallbacks(opts Options) AblationResult {
 		}
 		return 0
 	}
-	return AblationResult{
-		Name: "volume-callbacks", Metric: "modem validation time (s)",
-		Baseline: timeFor("volume"), BaselineLabel: "volume stamps",
-		Alternative: timeFor("object"), AlternativeLabel: "per-object",
-	}
+	res.Baseline = timeFor("volume")
+	res.Alternative = timeFor("object")
+	return res
 }
 
 // AblationAdaptiveRTO compares the Jacobson-adaptive retransmission timer
 // against a fixed 3-second timer on a lossy modem link, measuring total
 // time for a batch of small RPCs.
 func AblationAdaptiveRTO(opts Options) AblationResult {
-	run := func(fixed bool) float64 {
+	res := AblationResult{
+		Name: "adaptive-rto", Metric: "60 small RPCs over lossy modem (s)",
+		BaselineLabel: "adaptive", AlternativeLabel: "fixed-3s",
+	}
+	run := func(fixed bool, label string) float64 {
 		s := simtime.NewSim(simtime.Epoch1995)
 		net := netsim.New(s, opts.Seed+5)
 		p := netsim.Modem.Params()
 		p.LossRate = 0.05
 		net.SetDefaults(p)
+		reg := obs.NewRegistry(s)
 		var elapsed time.Duration
 		s.Run(func() {
 			rpc2.NewNode(s, net.Host("server"), netmon.NewMonitor(s), func(src string, b []byte) ([]byte, error) {
 				return b, nil
-			})
-			c := rpc2.NewNode(s, net.Host("client"), netmon.NewMonitor(s), nil)
+			}, reg)
+			c := rpc2.NewNode(s, net.Host("client"), netmon.NewMonitor(s), nil, reg)
 			peer := c.Monitor().Peer("server")
 			start := s.Now()
 			n := 60
@@ -188,18 +207,17 @@ func AblationAdaptiveRTO(opts Options) AblationResult {
 			}
 			elapsed = s.Now().Sub(start)
 		})
+		res.addSnapshot(label, reg)
 		return seconds(elapsed)
 	}
-	return AblationResult{
-		Name: "adaptive-rto", Metric: "60 small RPCs over lossy modem (s)",
-		Baseline: run(false), BaselineLabel: "adaptive",
-		Alternative: run(true), AlternativeLabel: "fixed-3s",
-	}
+	res.Baseline = run(false, "adaptive")
+	res.Alternative = run(true, "fixed")
+	return res
 }
 
 // ablationReplay runs a short write-heavy replay over the given network and
-// returns the venus stats afterwards.
-func ablationReplay(opts Options, cfg venus.Config, prof netsim.Profile) (*venus.Venus, venus.Stats) {
+// returns the world (for its registry) and the venus stats afterwards.
+func ablationReplay(opts Options, cfg venus.Config, prof netsim.Profile) (*world, venus.Stats) {
 	p := trace.SegmentPreset("Messiaen", opts.Seed)
 	p.Duration = 20 * time.Minute
 	p.Updates = 60
@@ -232,5 +250,5 @@ func ablationReplay(opts Options, cfg venus.Config, prof netsim.Profile) (*venus
 		w.sim.Sleep(10 * time.Minute)
 		stats = v.Stats()
 	})
-	return v, stats
+	return w, stats
 }

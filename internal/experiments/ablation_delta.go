@@ -20,7 +20,11 @@ func AblationDeltas(opts Options) AblationResult {
 	}
 	base := bytes.Repeat([]byte("quarterly report "), size/17)
 
-	run := func(enable bool) float64 {
+	res := AblationResult{
+		Name: "delta-shipping", Metric: "KB shipped for edits to a 120KB doc at modem",
+		BaselineLabel: "deltas", AlternativeLabel: "full-contents",
+	}
+	run := func(enable bool, label string) float64 {
 		w := newWorld(opts.Seed + 71)
 		w.mustVol("usr")
 		w.mustWrite("usr", "report.doc", base)
@@ -54,11 +58,10 @@ func AblationDeltas(opts Options) AblationResult {
 			}
 			shippedKB = float64(v.Stats().ShippedBytes) / 1024
 		})
+		res.addSnapshot(label, w.reg)
 		return shippedKB
 	}
-	return AblationResult{
-		Name: "delta-shipping", Metric: "KB shipped for edits to a 120KB doc at modem",
-		Baseline: run(true), BaselineLabel: "deltas",
-		Alternative: run(false), AlternativeLabel: "full-contents",
-	}
+	res.Baseline = run(true, "deltas")
+	res.Alternative = run(false, "full")
+	return res
 }

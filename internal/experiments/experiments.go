@@ -8,12 +8,14 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/simtime"
 	"repro/internal/venus"
@@ -41,23 +43,64 @@ func (o *Options) fill() {
 	}
 }
 
-// world bundles one simulated deployment.
+// world bundles one simulated deployment. Every component registers its
+// metrics in the shared reg (handles carry node labels, so the server and
+// any number of clients coexist without name collisions); figures dump it
+// at the end of a run so codabench can emit the metrics next to the
+// series.
 type world struct {
 	sim *simtime.Sim
 	net *netsim.Network
 	srv *server.Server
+	reg *obs.Registry
 }
 
 func newWorld(seed int64) *world {
 	s := simtime.NewSim(simtime.Epoch1995)
 	n := netsim.New(s, seed)
 	n.SetDefaults(netsim.Ethernet.Params())
-	return &world{sim: s, net: n, srv: server.New(s, n.Host("server"))}
+	reg := obs.NewRegistry(s)
+	return &world{sim: s, net: n, srv: server.New(s, n.Host("server"), server.WithObs(reg)), reg: reg}
 }
 
 func (w *world) venus(name string, cfg venus.Config) *venus.Venus {
 	cfg.Server = "server"
+	cfg.Obs = w.reg
 	return venus.New(w.sim, w.net.Host(name), cfg)
+}
+
+// RegistrySnapshot is one deterministic obs.Registry dump captured at the
+// end of an experiment run.
+type RegistrySnapshot struct {
+	Label string          `json:"label"`
+	Dump  json.RawMessage `json:"dump"`
+}
+
+// ObsSnapshots is embedded in every figure result. It is excluded from the
+// series JSON (codabench emits it as a sibling "metrics" field) and from
+// Render output; it exists so the same run that produced a figure also
+// yields its registry dumps.
+type ObsSnapshots struct {
+	Snapshots []RegistrySnapshot `json:"-"`
+}
+
+// addSnapshot appends reg's dump under label. Nil registries are skipped so
+// callers never need to guard.
+func (o *ObsSnapshots) addSnapshot(label string, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	o.Snapshots = append(o.Snapshots, RegistrySnapshot{Label: label, Dump: reg.Dump()})
+}
+
+// RegistrySnapshots is the interface codabench type-asserts on results.
+func (o ObsSnapshots) RegistrySnapshots() []RegistrySnapshot { return o.Snapshots }
+
+// modelRegistry returns an empty registry pinned to the sim epoch, used by
+// figures that are pure model evaluations (no simulated world): their
+// snapshot is the deterministic empty dump.
+func modelRegistry() *obs.Registry {
+	return obs.NewRegistry(simtime.NewSim(simtime.Epoch1995))
 }
 
 func (w *world) setLink(client string, p netsim.Profile) {

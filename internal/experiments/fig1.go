@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/simtime"
 	"repro/internal/tcpsim"
@@ -27,6 +28,7 @@ type Fig1Row struct {
 
 // Fig1Result reproduces Figure 1 (Transport Protocol Performance).
 type Fig1Result struct {
+	ObsSnapshots
 	TransferBytes int
 	Trials        int
 	Rows          []Fig1Row
@@ -48,8 +50,15 @@ func Figure1(opts Options) Fig1Result {
 			var recv, send []float64
 			for trial := 0; trial < opts.Trials; trial++ {
 				seed := opts.Seed + int64(trial)
-				recv = append(recv, fig1Throughput(proto, prof, size, seed, false))
-				send = append(send, fig1Throughput(proto, prof, size, seed+1000, true))
+				// Snapshot the transport metrics of one trial per cell;
+				// later trials differ only in seed.
+				var snaps *ObsSnapshots
+				if trial == 0 {
+					snaps = &res.ObsSnapshots
+				}
+				label := proto + "/" + prof.Name
+				recv = append(recv, fig1Throughput(proto, prof, size, seed, false, snaps, label+"/recv"))
+				send = append(send, fig1Throughput(proto, prof, size, seed+1000, true, snaps, label+"/send"))
 			}
 			row := Fig1Row{Protocol: proto, Network: prof}
 			row.RecvKbps, row.RecvSD = meanStd(recv)
@@ -63,9 +72,13 @@ func Figure1(opts Options) Fig1Result {
 // fig1Throughput runs one transfer and returns Kb/s. clientSends selects
 // the direction; the measurement endpoint mirrors the paper's disk-to-disk
 // timing.
-func fig1Throughput(proto string, prof netsim.Profile, size int, seed int64, clientSends bool) float64 {
+func fig1Throughput(proto string, prof netsim.Profile, size int, seed int64, clientSends bool, snaps *ObsSnapshots, label string) float64 {
 	s := simtime.NewSim(simtime.Epoch1995)
 	net := netsim.New(s, seed)
+	var reg *obs.Registry
+	if snaps != nil {
+		reg = obs.NewRegistry(s)
+	}
 	params := prof.Params()
 	if prof.Name == "WaveLan" {
 		// 1995 WaveLan radios lost packets; this is what separates the
@@ -90,8 +103,8 @@ func fig1Throughput(proto string, prof netsim.Profile, size int, seed int64, cli
 		start := s.Now()
 		switch proto {
 		case "SFTP":
-			a := rpc2.NewNode(s, net.Host(src), netmon.NewMonitor(s), nil)
-			b := rpc2.NewNode(s, net.Host(dst), netmon.NewMonitor(s), nil)
+			a := rpc2.NewNode(s, net.Host(src), netmon.NewMonitor(s), nil, reg)
+			b := rpc2.NewNode(s, net.Host(dst), netmon.NewMonitor(s), nil, reg)
 			done := simtime.NewQueue[error](s)
 			s.Go(func() { done.Put(a.Transfer(dst, 1, data)) })
 			if _, err := b.AwaitTransfer(src, 1, 4*time.Hour); err != nil {
@@ -114,6 +127,9 @@ func fig1Throughput(proto string, prof netsim.Profile, size int, seed int64, cli
 		}
 		elapsed = s.Now().Sub(start)
 	})
+	if snaps != nil {
+		snaps.addSnapshot(label, reg)
+	}
 	return float64(size*8) / elapsed.Seconds() / 1000
 }
 

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,6 +45,7 @@ type Fig14Cell struct {
 // Fig12Result reproduces Figures 12/13 (trace replay elapsed times) and 14
 // (data generated during replay, for λ=1s A=600s).
 type Fig12Result struct {
+	ObsSnapshots
 	Segments []string
 	Networks []netsim.Profile
 	Trials   int
@@ -67,6 +70,7 @@ type fig12Out struct {
 	endKB    float64
 	shipped  float64
 	optimzed float64
+	dump     []byte // registry dump, captured for trial 0 only
 }
 
 // replayOpCost models local per-operation client work.
@@ -120,6 +124,16 @@ func Figure12(opts Options) Fig12Result {
 		}()
 	}
 	wg.Wait()
+
+	// Runs execute concurrently but outs is indexed by the deterministic
+	// run order, so the snapshot list is stable across invocations.
+	for _, o := range outs {
+		if o.dump == nil {
+			continue
+		}
+		label := fmt.Sprintf("%s/%s/lambda=%v/A=%v", o.segment, o.network.Name, o.combo.Lambda, o.combo.Aging)
+		res.Snapshots = append(res.Snapshots, RegistrySnapshot{Label: label, Dump: o.dump})
+	}
 
 	// Aggregate trials.
 	type key struct {
@@ -233,7 +247,64 @@ func fig12One(seed int64, r fig12Run, scale float64) fig12Out {
 		out.shipped = float64(v.Stats().ShippedBytes-ship0) / 1024
 		out.optimzed = float64(v.OptimizedBytes()-opt0) / 1024
 	})
+	if r.trial == 0 {
+		out.dump = w.reg.Dump()
+	}
 	return out
+}
+
+// fig12JSONCell is one flattened (combo, segment, network) entry of the
+// JSON export; the in-memory Cells map is keyed by a struct, which
+// encoding/json cannot marshal.
+type fig12JSONCell struct {
+	LambdaS float64 `json:"lambda_s"`
+	AgingS  float64 `json:"aging_s"`
+	Segment string  `json:"segment"`
+	Network string  `json:"network"`
+	MeanS   float64 `json:"mean_s"`
+	SDS     float64 `json:"sd_s"`
+}
+
+// MarshalJSON flattens the struct-keyed Cells map into a sorted slice so
+// the result serializes (and does so deterministically).
+func (r Fig12Result) MarshalJSON() ([]byte, error) {
+	combos := make([]Fig12Combo, 0, len(r.Cells))
+	for combo := range r.Cells {
+		combos = append(combos, combo)
+	}
+	sort.Slice(combos, func(i, j int) bool {
+		if combos[i].Lambda != combos[j].Lambda {
+			return combos[i].Lambda < combos[j].Lambda
+		}
+		return combos[i].Aging < combos[j].Aging
+	})
+	var cells []fig12JSONCell
+	for _, combo := range combos {
+		for _, seg := range r.Segments {
+			for _, nw := range r.Networks {
+				c := r.Cells[combo][seg][nw.Name]
+				cells = append(cells, fig12JSONCell{
+					LambdaS: combo.Lambda.Seconds(),
+					AgingS:  combo.Aging.Seconds(),
+					Segment: seg,
+					Network: nw.Name,
+					MeanS:   c.Mean,
+					SDS:     c.SD,
+				})
+			}
+		}
+	}
+	networks := make([]string, len(r.Networks))
+	for i, nw := range r.Networks {
+		networks[i] = nw.Name
+	}
+	return json.Marshal(struct {
+		Segments []string                        `json:"segments"`
+		Networks []string                        `json:"networks"`
+		Trials   int                             `json:"trials"`
+		Cells    []fig12JSONCell                 `json:"cells"`
+		Fig14    map[string]map[string]Fig14Cell `json:"fig14"`
+	}{r.Segments, networks, r.Trials, cells, r.Fig14})
 }
 
 // Render prints the four elapsed-time tables (Figure 12) and the data

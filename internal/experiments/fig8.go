@@ -43,6 +43,7 @@ type Fig8Cell struct {
 
 // Fig8Result reproduces Figure 8 (Validation Time Under Ideal Conditions).
 type Fig8Result struct {
+	ObsSnapshots
 	Profiles []Fig8Profile
 	Cells    []Fig8Cell
 }
@@ -63,14 +64,15 @@ func Figure8(opts Options) Fig8Result {
 	res := Fig8Result{Profiles: profiles}
 	for _, prof := range profiles {
 		for _, scheme := range []string{"object", "volume"} {
-			cells := fig8Run(opts, prof, scheme)
+			cells, snap := fig8Run(opts, prof, scheme)
 			res.Cells = append(res.Cells, cells...)
+			res.Snapshots = append(res.Snapshots, snap)
 		}
 	}
 	return res
 }
 
-func fig8Run(opts Options, prof Fig8Profile, scheme string) []Fig8Cell {
+func fig8Run(opts Options, prof Fig8Profile, scheme string) ([]Fig8Cell, RegistrySnapshot) {
 	w := newWorld(opts.Seed + int64(len(prof.User)))
 	perVol := prof.Objects / prof.Volumes
 
@@ -127,7 +129,8 @@ func fig8Run(opts Options, prof Fig8Profile, scheme string) []Fig8Cell {
 			})
 		}
 	})
-	return cells
+	snap := RegistrySnapshot{Label: prof.User + "/" + scheme, Dump: w.reg.Dump()}
+	return cells, snap
 }
 
 // Render prints validation times, grouped as in the paper's bar chart.

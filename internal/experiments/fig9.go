@@ -34,6 +34,7 @@ type Fig9Row struct {
 
 // Fig9Result reproduces Figure 9 (Observed Volume Validation Statistics).
 type Fig9Result struct {
+	ObsSnapshots
 	Weeks    int
 	Desktops []Fig9Row
 	Laptops  []Fig9Row
@@ -196,6 +197,7 @@ func Figure9(opts Options) Fig9Result {
 			res.Laptops = append(res.Laptops, fig9Row(name, byName[name]))
 		}
 	})
+	res.addSnapshot("deployment", w.reg)
 	return res
 }
 

@@ -37,6 +37,7 @@ func Analyzers() []Analyzer {
 		NewLockguard(),
 		NewErrwrap(),
 		NewTesthygiene(),
+		NewObsname(),
 	}
 }
 

@@ -116,6 +116,10 @@ func TestTesthygieneFixture(t *testing.T) {
 	runFixture(t, "testhygiene", "internal/fixture", []Analyzer{NewTesthygiene()})
 }
 
+func TestObsnameFixture(t *testing.T) {
+	runFixture(t, "obsname", "internal/fixture", []Analyzer{NewObsname()})
+}
+
 // writeFixture materializes a file tree under a fresh temp dir.
 func writeFixture(t *testing.T, files map[string]string) string {
 	t.Helper()

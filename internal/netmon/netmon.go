@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -34,6 +35,8 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	peers map[string]*Peer
+	reg   *obs.Registry
+	self  string // label distinguishing this node's gauges from other nodes sharing the registry
 }
 
 // NewMonitor returns an empty Monitor on clock.
@@ -41,14 +44,51 @@ func NewMonitor(clock simtime.Clock) *Monitor {
 	return &Monitor{clock: clock, peers: make(map[string]*Peer)}
 }
 
+// Observe exports every peer's estimates — bandwidth, SRTT, RTO — as
+// pull gauges on reg, labeled {node=self, peer=addr}. Peers learned
+// later are registered as they appear. These gauges are the one exposed
+// view of the estimator state: Venus and the experiments read the same
+// Peer accessors the gauges wrap, so there is no second bookkeeping
+// path to drift out of sync.
+func (m *Monitor) Observe(reg *obs.Registry, self string) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	m.reg = reg
+	m.self = self
+	peers := make([]*Peer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	for _, p := range peers {
+		registerPeer(reg, self, p)
+	}
+}
+
+// registerPeer publishes one peer's gauges. Called without m.mu held:
+// registry registration takes the registry lock, and the gauge closures
+// take only the peer lock.
+func registerPeer(reg *obs.Registry, self string, p *Peer) {
+	labels := []obs.Label{obs.L("node", self), obs.L("peer", p.addr)}
+	reg.GaugeFunc("netmon_peer_bandwidth_bps", p.Bandwidth, labels...)
+	reg.GaugeFunc("netmon_peer_srtt_us", func() int64 { return p.SRTT().Microseconds() }, labels...)
+	reg.GaugeFunc("netmon_peer_rto_us", func() int64 { return p.RTO().Microseconds() }, labels...)
+}
+
 // Peer returns the record for addr, creating it on first use.
 func (m *Monitor) Peer(addr string) *Peer {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p, ok := m.peers[addr]
 	if !ok {
 		p = &Peer{clock: m.clock, addr: addr}
 		m.peers[addr] = p
+	}
+	reg, self := m.reg, m.self
+	m.mu.Unlock()
+	if !ok && reg != nil {
+		registerPeer(reg, self, p)
 	}
 	return p
 }

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// dumpMetric is the JSON shape of one time series in a Dump.
+type dumpMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  int64             `json:"value"`
+	Le     []int64           `json:"le,omitempty"`
+	Counts []int64           `json:"counts,omitempty"`
+	Sum    int64             `json:"sum,omitempty"`
+	Count  int64             `json:"count,omitempty"`
+}
+
+// dumpEvent is the JSON shape of one trace event. Time is nanoseconds
+// since the Unix epoch on the injected clock.
+type dumpEvent struct {
+	T      int64             `json:"t"`
+	Kind   string            `json:"kind"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// dumpDoc is the top-level Dump document.
+type dumpDoc struct {
+	Metrics       []dumpMetric `json:"metrics"`
+	Events        []dumpEvent  `json:"events"`
+	DroppedEvents int64        `json:"dropped_events,omitempty"`
+}
+
+// Dump serializes the registry — every metric, gauge funcs evaluated,
+// plus the sorted event trace — to JSON. The output is deterministic:
+// metrics are sorted by (name, labels), events by (time, kind, fields),
+// and map keys are sorted by encoding/json. Two identical seeded sim
+// runs therefore produce byte-identical dumps, which the determinism
+// test in internal/experiments pins.
+func (r *Registry) Dump() []byte {
+	doc := dumpDoc{Metrics: []dumpMetric{}, Events: []dumpEvent{}}
+	if r != nil {
+		for _, s := range r.snapshot() {
+			dm := dumpMetric{
+				Name:   s.Name,
+				Kind:   s.Kind,
+				Value:  s.Value,
+				Le:     s.Le,
+				Counts: s.Counts,
+				Sum:    s.Sum,
+				Count:  s.Count,
+			}
+			if len(s.Labels) > 0 {
+				dm.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					dm.Labels[l.Key] = l.Value
+				}
+			}
+			doc.Metrics = append(doc.Metrics, dm)
+		}
+		for _, e := range r.Events() {
+			de := dumpEvent{T: e.Time.UnixNano(), Kind: e.Kind}
+			if len(e.Fields) > 0 {
+				de.Fields = make(map[string]string, len(e.Fields))
+				for _, f := range e.Fields {
+					de.Fields[f.Key] = f.Value
+				}
+			}
+			doc.Events = append(doc.Events, de)
+		}
+		doc.DroppedEvents = r.DroppedEvents()
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// The document is plain structs and strings; Marshal cannot fail
+		// on it short of a bug here.
+		panic(fmt.Sprintf("obs: dump marshal: %v", err))
+	}
+	return append(out, '\n')
+}

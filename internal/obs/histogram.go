@@ -1,0 +1,81 @@
+package obs
+
+import "sync"
+
+// Histogram counts int64 observations into fixed buckets. Bucket
+// bounds are inclusive upper bounds ("le" in Prometheus terms): an
+// observation v lands in the first bucket with v <= bound, or in the
+// implicit overflow (+Inf) bucket past the last bound. Bounds are fixed
+// at registration so two runs observing the same values produce
+// identical bucket vectors — no adaptive resizing, no float math.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64 // ascending upper bounds
+	counts []int64 // len(bounds)+1; last entry is the overflow bucket
+	sum    int64
+	count  int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	bs := make([]int64, len(bounds))
+	copy(bs, bounds)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			panic("obs: histogram buckets must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bs,
+		counts: make([]int64, len(bs)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := len(h.bounds) // overflow by default
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the running sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot copies the bucket state.
+func (h *Histogram) snapshot() (bounds, counts []int64, sum, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = make([]int64, len(h.bounds))
+	copy(bounds, h.bounds)
+	counts = make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return bounds, counts, h.sum, h.count
+}

@@ -1,0 +1,312 @@
+// Package obs is the repository's deterministic observability layer: a
+// stdlib-only metrics registry (counters, gauges, histograms with fixed
+// buckets) plus a structured event-trace ring buffer. Every timestamp
+// comes from the injected simtime clock, and Dump sorts metrics and
+// events by content, so two identical seeded sim runs produce
+// byte-identical output — the same determinism contract codalint
+// enforces for the rest of the tree.
+//
+// Registration is by injection: a *Registry is handed to constructors
+// (rpc2.NewNode, venus.Config.Obs, server.WithObs, wal.Options.Obs...).
+// There is no process-global registry. A nil *Registry is fully inert —
+// every method on it, and on the nil handles it returns, is a no-op —
+// so instrumented code never branches on "is observability on".
+//
+// Metric names are static snake_case string literals with a package
+// prefix ("venus_cache_hits_total"); the codalint obsname analyzer
+// enforces this so the metric catalog in DESIGN.md §10 stays greppable.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+)
+
+// Label is one key=value dimension on a metric. Label KEYS should be
+// static; label VALUES may be dynamic (peer addresses, volume names).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric handle. The zero of a
+// nil handle is inert: Add/Inc on a nil *Counter do nothing, which is
+// what makes nil-registry injection free at instrumentation sites.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored; counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric handle.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (useful for in-flight style gauges).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// metric is one registered time series: a (name, sorted labels) key
+// plus the kind-specific state.
+type metric struct {
+	name   string
+	labels []Label // sorted by key
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+}
+
+// key builds the registry map key for (name, labels). Labels must
+// already be sorted.
+func key(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Registry holds every registered metric and the event-trace ring. All
+// methods are safe for concurrent use, and all are no-ops on a nil
+// receiver.
+type Registry struct {
+	clock simtime.Clock
+
+	mu      sync.Mutex
+	metrics map[string]*metric
+
+	// The event ring has its own lock so Event can be called while the
+	// caller holds component locks (Venus records state transitions
+	// under its own mutex): nothing holding evMu ever calls out, and
+	// snapshot never holds mu while evaluating gauge funcs, so no lock
+	// cycle can form through the registry.
+	evMu         sync.Mutex
+	events       []Event // ring buffer, traceCap entries
+	eventsNext   int     // next write slot
+	eventsFilled bool    // ring has wrapped at least once
+	dropped      int64   // events overwritten after wrap
+}
+
+// traceCap bounds the event ring. Events are low-volume (state
+// transitions, recovery summaries), so overflow means something is
+// misusing Event as a per-packet log.
+const traceCap = 8192
+
+// NewRegistry returns an empty registry stamping events from clock.
+func NewRegistry(clock simtime.Clock) *Registry {
+	return &Registry{
+		clock:   clock,
+		metrics: make(map[string]*metric),
+	}
+}
+
+// lookup returns the metric for (name, labels), creating it with make
+// if absent. It panics on a kind collision: metric names are static
+// literals, so a collision is a programming error the test suite hits
+// immediately.
+func (r *Registry) lookup(name string, kind metricKind, labels []Label, make func(*metric)) *metric {
+	ls := sortLabels(labels)
+	k := key(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[k]; ok {
+		if m.kind != kind {
+			panic("obs: metric " + name + " re-registered as " + kind.String() + ", was " + m.kind.String())
+		}
+		return m
+	}
+	m := &metric{name: name, labels: ls, kind: kind}
+	make(m)
+	r.metrics[k] = m
+	return m
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it on first use. On a nil registry it returns a nil handle
+// whose methods are no-ops.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, kindCounter, labels, func(m *metric) { m.counter = new(Counter) })
+	return m.counter
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, kindGauge, labels, func(m *metric) { m.gauge = new(Gauge) })
+	return m.gauge
+}
+
+// GaugeFunc registers a pull-style gauge evaluated at Dump/export time.
+// Re-registering the same (name, labels) replaces the function (the
+// last writer wins), so components that recreate state — e.g. a netmon
+// peer being forgotten and re-learned — can re-register safely.
+//
+// fn runs without the registry lock held; it may take component locks
+// but must not call back into the Registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	m := r.lookup(name, kindGaugeFunc, labels, func(m *metric) {})
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under (name, labels) with
+// the given fixed bucket upper bounds (ascending, inclusive). If the
+// metric already exists, the existing buckets are kept and the buckets
+// argument is ignored.
+func (r *Registry) Histogram(name string, buckets []int64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, kindHistogram, labels, func(m *metric) { m.hist = newHistogram(buckets) })
+	return m.hist
+}
+
+// metricSnapshot is one resolved time series: scalar kinds carry Value,
+// histograms carry the bucket state.
+type metricSnapshot struct {
+	Name   string
+	Labels []Label
+	Kind   string
+	Value  int64
+	Le     []int64 // histogram upper bounds
+	Counts []int64 // per-bucket counts, last = overflow
+	Sum    int64
+	Count  int64
+}
+
+// snapshot resolves every registered metric — evaluating gauge funcs —
+// sorted by (name, labels) so the ordering is deterministic. Gauge
+// funcs run after the registry lock is released: they may take
+// component locks (Venus's mutex, netmon peer mutexes) that are also
+// held around registry calls, and evaluating them under r.mu would
+// close a lock cycle.
+func (r *Registry) snapshot() []metricSnapshot {
+	type resolved struct {
+		m  *metric
+		fn func() int64
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	list := make([]resolved, 0, len(keys))
+	for _, k := range keys {
+		m := r.metrics[k]
+		list = append(list, resolved{m: m, fn: m.fn})
+	}
+	r.mu.Unlock()
+
+	out := make([]metricSnapshot, 0, len(list))
+	for _, it := range list {
+		m := it.m
+		s := metricSnapshot{Name: m.name, Labels: m.labels, Kind: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			s.Value = m.counter.Value()
+		case kindGauge:
+			s.Value = m.gauge.Value()
+		case kindGaugeFunc:
+			s.Value = it.fn()
+		case kindHistogram:
+			s.Le, s.Counts, s.Sum, s.Count = m.hist.snapshot()
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): one # TYPE header per metric
+// name, histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastName := ""
+	for _, s := range r.snapshot() {
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if s.Kind == "histogram" {
+			if err := writePromHistogram(w, s); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, s metricSnapshot) error {
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Le) {
+			le = fmt.Sprintf("%d", s.Le[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Count)
+	return err
+}
+
+// promLabels renders {k="v",...}, optionally appending one extra label
+// (the histogram "le"). Go's %q escaping of backslash, quote, and
+// newline matches the exposition format's label escaping.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Handler serves the registry over HTTP: Prometheus text at the
+// endpoint itself, the deterministic JSON dump at <path>/dump (any path
+// ending in /dump or ?format=json). Wire it into codasrv/codaclient via
+// their -metrics flags.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, "/dump") || req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(r.Dump())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sftp"
 	"repro/internal/simtime"
 )
@@ -122,6 +123,29 @@ type Node struct {
 	closed     bool
 
 	epoch time.Time // base for 32-bit microsecond timestamps
+
+	met nodeMetrics
+}
+
+// nodeMetrics caches the node's metric handles, labeled by the node's
+// own address so several nodes can share one registry. Handles are nil
+// (inert) when no registry was injected.
+type nodeMetrics struct {
+	calls       *obs.Counter
+	inflight    *obs.Gauge
+	retransmits *obs.Counter
+	busy        *obs.Counter
+	timeouts    *obs.Counter
+	handled     *obs.Counter
+	dupReplies  *obs.Counter
+	rtt         *obs.Histogram
+}
+
+// rttBucketsUS spans a LAN round trip to a saturated modem, in
+// microseconds.
+var rttBucketsUS = []int64{
+	1_000, 5_000, 10_000, 50_000, 100_000,
+	500_000, 1_000_000, 5_000_000, 10_000_000, 60_000_000,
 }
 
 type inbound struct {
@@ -144,8 +168,12 @@ type wireReply struct {
 }
 
 // NewNode creates a node on conn and starts its receive loop. handler may
-// be nil for pure clients.
-func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, handler Handler) *Node {
+// be nil for pure clients. reg may be nil; when present, the node, its
+// SFTP engine, and the shared netmon estimator all publish through it —
+// this is the single injection point for transport observability.
+func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, handler Handler, reg *obs.Registry) *Node {
+	self := conn.LocalAddr()
+	node := obs.L("node", self)
 	n := &Node{
 		clock:      clock,
 		conn:       conn,
@@ -156,10 +184,22 @@ func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, h
 		// Back-date the epoch so a timestamp can never be zero (zero
 		// means "no echo" on the wire).
 		epoch: clock.Now().Add(-time.Millisecond),
+		met: nodeMetrics{
+			calls:       reg.Counter("rpc2_calls_total", node),
+			inflight:    reg.Gauge("rpc2_calls_inflight", node),
+			retransmits: reg.Counter("rpc2_retransmits_total", node),
+			busy:        reg.Counter("rpc2_busy_received_total", node),
+			timeouts:    reg.Counter("rpc2_call_timeouts_total", node),
+			handled:     reg.Counter("rpc2_requests_handled_total", node),
+			dupReplies:  reg.Counter("rpc2_duplicate_requests_total", node),
+			rtt:         reg.Histogram("rpc2_rtt_us", rttBucketsUS, node),
+		},
 	}
+	reg.GaugeFunc("rpc2_reply_cache_peers", func() int64 { return int64(n.ReplyCacheSize()) }, node)
+	mon.Observe(reg, self)
 	n.engine = sftp.NewEngine(clock, mon, func(dst string, payload []byte) error {
 		return conn.Send(dst, append([]byte{kindSFTP}, payload...))
-	})
+	}, reg)
 	clock.Go(n.recvLoop)
 	clock.Go(n.sweepReplyCache)
 	return n
@@ -249,7 +289,10 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 	replies := simtime.NewQueue[inbound](n.clock)
 	n.pending[seq] = replies
 	n.mu.Unlock()
+	n.met.calls.Inc()
+	n.met.inflight.Add(1)
 	defer func() {
+		n.met.inflight.Add(-1)
 		n.mu.Lock()
 		delete(n.pending, seq)
 		n.mu.Unlock()
@@ -280,6 +323,7 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 	for {
 		remain := deadline.Sub(n.clock.Now())
 		if remain <= 0 {
+			n.met.timeouts.Inc()
 			return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, dst, opts.Timeout)
 		}
 		wait := rto
@@ -296,12 +340,14 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 			}
 			retries++
 			if retries > opts.MaxRetries {
+				n.met.timeouts.Inc()
 				return nil, fmt.Errorf("%w: %s after %d retries", ErrTimeout, dst, retries-1)
 			}
 			rto *= 2
 			if rto > netmon.MaxRTO {
 				rto = netmon.MaxRTO
 			}
+			n.met.retransmits.Inc()
 			send()
 			continue
 		}
@@ -309,6 +355,7 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 		case kindBusy:
 			// Server is working on it: wait a full fresh RTO without
 			// counting a retry or backing off.
+			n.met.busy.Inc()
 			n.observeEcho(peer, in.tsEcho)
 			retries = 0
 			rto = peer.RTO()
@@ -427,6 +474,7 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts uint32, body
 	}
 	if rep, done := pc.replies[seq]; done {
 		n.mu.Unlock()
+		n.met.dupReplies.Inc()
 		_ = n.conn.Send(src, encodePacket(kindRep, rep.flags, seq, n.ticks(), ts, rep.body))
 		return
 	}
@@ -451,6 +499,7 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts uint32, body
 			}
 		}
 
+		n.met.handled.Inc()
 		var repFlags byte
 		var repBody []byte
 		if n.handler == nil {
@@ -500,6 +549,7 @@ func (n *Node) observeEcho(peer *netmon.Peer, tsEcho uint32) {
 	}
 	delta := n.ticks() - tsEcho // wraps correctly
 	if delta < 1<<31 {
+		n.met.rtt.Observe(int64(delta))
 		peer.ObserveRTT(time.Duration(delta) * time.Microsecond)
 	}
 }

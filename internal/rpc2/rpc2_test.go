@@ -25,7 +25,7 @@ func newWorld(seed int64, p netsim.LinkParams) *world {
 }
 
 func (w *world) node(name string, h Handler) *Node {
-	return NewNode(w.sim, w.net.Host(name), netmon.NewMonitor(w.sim), h)
+	return NewNode(w.sim, w.net.Host(name), netmon.NewMonitor(w.sim), h, nil)
 }
 
 func echoHandler(src string, body []byte) ([]byte, error) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cml"
 	"repro/internal/codafs"
@@ -22,6 +23,8 @@ func (s *Server) handle(src string, body []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.stats.calls.Add(1)
+	s.met.calls.Inc()
+	s.observeOp(strings.TrimPrefix(fmt.Sprintf("%T", v), "wire."))
 
 	var rep any
 	switch req := v.(type) {
@@ -211,7 +214,8 @@ func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.Mut
 	if !ok {
 		return wire.MutateRep{}, fmt.Errorf("no volume %d", rec.FID.Volume)
 	}
-	v.mu.Lock()
+	s.observeVolOp(v)
+	s.lockVolume(v)
 	a := newApply(v)
 	res := applyRecord(a, &rec, src)
 	if !res.OK {
@@ -227,6 +231,7 @@ func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.Mut
 	statuses, stamp, breaks := commitApply(a, src)
 	v.mu.Unlock()
 	s.stats.recordsApplied.Add(1)
+	s.met.recordsApplied.Inc()
 	rep := wire.MutateRep{VolStamp: stamp}
 	for _, st := range statuses {
 		if st.FID == repFID {
@@ -291,6 +296,8 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 		return wire.ReintegrateRep{}, fmt.Errorf("no volume %d", req.Volume)
 	}
 	s.stats.reintegrations.Add(1)
+	s.met.reintegrations.Inc()
+	s.observeVolOp(v)
 
 	// Attach fragment data under the fragment lock, before entering the
 	// volume domain (fragMu and volume locks never nest). The server does
@@ -321,7 +328,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 
 	rep := wire.ReintegrateRep{Results: make([]wire.RecordResult, len(recs))}
 
-	v.mu.Lock()
+	s.lockVolume(v)
 
 	// Reconstruct delta-shipped stores against the server's current
 	// contents (§4.1's "ship file differences" enhancement). A base
@@ -338,6 +345,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 			rep.VolStamp = v.info.Stamp
 			v.mu.Unlock()
 			s.stats.reintegrationFails.Add(1)
+			s.met.reintegFails.Inc()
 			return rep, nil
 		}
 		newData, err := delta.Apply(obj.Data, dd)
@@ -346,6 +354,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 			rep.VolStamp = v.info.Stamp
 			v.mu.Unlock()
 			s.stats.reintegrationFails.Add(1)
+			s.met.reintegFails.Inc()
 			return rep, nil
 		}
 		recs[idx].Data = newData
@@ -365,6 +374,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 			ok = false
 			if res.Conflict {
 				s.stats.conflicts.Add(1)
+				s.met.conflicts.Inc()
 			}
 		}
 	}
@@ -374,6 +384,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 		rep.VolStamp = v.info.Stamp
 		v.mu.Unlock()
 		s.stats.reintegrationFails.Add(1)
+		s.met.reintegFails.Inc()
 		return rep, nil
 	}
 	// Journal the reconstructed batch (fragments attached, deltas already
@@ -383,12 +394,14 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 	if err := journalBatchLocked(v, src, recs); err != nil {
 		v.mu.Unlock()
 		s.stats.reintegrationFails.Add(1)
+		s.met.reintegFails.Inc()
 		return wire.ReintegrateRep{}, fmt.Errorf("journal: %w", err)
 	}
 	statuses, stamp, breaks := commitApply(a, src)
 	v.mu.Unlock()
 
 	s.stats.recordsApplied.Add(int64(len(recs)))
+	s.met.recordsApplied.Add(int64(len(recs)))
 	s.fragMu.Lock()
 	for _, k := range usedFrags {
 		delete(s.frags, k)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cml"
 	"repro/internal/codafs"
 	"repro/internal/crashfs"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/wal"
 )
@@ -79,6 +80,7 @@ type serverJournal struct {
 	dir   string
 	opts  JournalOptions
 	clock simtime.Clock
+	obs   *obs.Registry
 
 	sjMu    sync.Mutex
 	meta    *wal.WAL
@@ -99,6 +101,7 @@ func (sj *serverJournal) walOptions(dir string) wal.Options {
 		Policy:       sj.opts.Policy,
 		Interval:     sj.opts.Interval,
 		Clock:        sj.clock,
+		Obs:          sj.obs,
 	}
 }
 
@@ -120,7 +123,7 @@ func (s *Server) AttachJournal(opts JournalOptions) (RecoveryInfo, error) {
 	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
 		return info, err
 	}
-	sj := &serverJournal{fs: opts.FS, dir: opts.Dir, opts: opts, clock: s.clock}
+	sj := &serverJournal{fs: opts.FS, dir: opts.Dir, opts: opts, clock: s.clock, obs: s.obs}
 
 	// Snapshot: restores the bulk and carries the LSN watermarks that
 	// fence off WAL entries already reflected in it.

@@ -36,6 +36,7 @@ import (
 	"repro/internal/codafs"
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/simtime"
 	"repro/internal/wal"
@@ -64,6 +65,8 @@ const (
 type Server struct {
 	clock simtime.Clock
 	node  *rpc2.Node
+	obs   *obs.Registry // nil unless WithObs; nil is fully inert
+	met   smetrics
 
 	stats   counters      // atomics: bumped from any domain without a lock
 	stopped chan struct{} // closed by Close; stops the maintenance sweep
@@ -112,6 +115,68 @@ type Stats struct {
 	BreaksSent         int64
 }
 
+// smetrics holds the server's pre-registered obs handles; all nil (and
+// inert) without WithObs.
+type smetrics struct {
+	self           obs.Label
+	calls          *obs.Counter
+	reintegrations *obs.Counter
+	reintegFails   *obs.Counter
+	recordsApplied *obs.Counter
+	conflicts      *obs.Counter
+	breaks         *obs.Counter
+	lockWait       *obs.Histogram
+}
+
+// lockWaitBucketsUS buckets volume-lock acquisition waits (microseconds).
+// Under simtime a blocked goroutine does not advance the clock, so sim
+// runs observe zero — the histogram is a live-deployment signal.
+var lockWaitBucketsUS = []int64{10, 100, 1_000, 10_000, 100_000, 1_000_000}
+
+// initMetrics pre-registers the server's obs handles. It must run
+// before the rpc2 node exists: NewNode starts the receive loop, and on
+// a real connection a request may reach handle — which reads s.met —
+// the instant the loop is up.
+func (s *Server) initMetrics(addr string) {
+	node := obs.L("node", addr)
+	s.met = smetrics{
+		self:           node,
+		calls:          s.obs.Counter("server_calls_total", node),
+		reintegrations: s.obs.Counter("server_reintegrations_total", node),
+		reintegFails:   s.obs.Counter("server_reintegration_failures_total", node),
+		recordsApplied: s.obs.Counter("server_records_applied_total", node),
+		conflicts:      s.obs.Counter("server_conflicts_total", node),
+		breaks:         s.obs.Counter("server_callback_breaks_total", node),
+		lockWait:       s.obs.Histogram("server_lock_wait_us", lockWaitBucketsUS, node),
+	}
+	s.obs.GaugeFunc("server_clients_connected", func() int64 { return int64(s.ClientCount()) }, node)
+	s.obs.GaugeFunc("server_fragment_buffers", func() int64 { return int64(s.FragmentCount()) }, node)
+}
+
+// observeOp counts one dispatched RPC by request type.
+func (s *Server) observeOp(op string) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.Counter("server_ops_total", s.met.self, obs.L("op", op)).Inc()
+}
+
+// observeVolOp counts one operation entering a volume domain. The name is
+// immutable once the volume is published, so no lock is needed.
+func (s *Server) observeVolOp(v *volume) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.Counter("server_volume_ops_total", s.met.self, obs.L("volume", v.info.Name)).Inc()
+}
+
+// lockVolume acquires v.mu, recording the wait on the lock-wait histogram.
+func (s *Server) lockVolume(v *volume) {
+	start := s.clock.Now()
+	v.mu.Lock()
+	s.met.lockWait.Observe(s.clock.Now().Sub(start).Microseconds())
+}
+
 // volume is one concurrency domain: every piece of per-volume state —
 // objects, version stamps, authorship, and callback registrations — lives
 // behind its mu, so operations on distinct volumes never contend.
@@ -148,8 +213,17 @@ type fragBuf struct {
 	lastActive time.Time // last append, for the TTL sweep
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithObs injects the observability registry the server (and its rpc2
+// node) registers metrics with.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Server) { s.obs = reg }
+}
+
 // New creates a server listening on conn.
-func New(clock simtime.Clock, conn netsim.PacketConn) *Server {
+func New(clock simtime.Clock, conn netsim.PacketConn, opts ...Option) *Server {
 	s := &Server{
 		clock:   clock,
 		stopped: make(chan struct{}),
@@ -158,7 +232,11 @@ func New(clock simtime.Clock, conn netsim.PacketConn) *Server {
 		clients: make(map[string]bool),
 		frags:   make(map[fragKey]*fragBuf),
 	}
-	s.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), s.handle)
+	for _, o := range opts {
+		o(s)
+	}
+	s.initMetrics(conn.LocalAddr())
+	s.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), s.handle, s.obs)
 	clock.Go(s.sweepLoop)
 	return s
 }
@@ -630,6 +708,7 @@ func (s *Server) dispatchBreaks(work []breakWork) {
 		}
 		client := client
 		s.stats.breaksSent.Add(1)
+		s.met.breaks.Inc()
 		s.clock.Go(func() {
 			// Best effort: an unreachable client revalidates later.
 			_, _ = wire.Call[wire.CallbackBreakRep](s.node, client, brk, rpc2.CallOpts{MaxRetries: 2})

@@ -47,7 +47,7 @@ func (w *world) client(name string) *tclient {
 			return wire.Encode(wire.CallbackBreakRep{})
 		}
 		return nil, errors.New("unexpected call")
-	})
+	}, nil)
 	return c
 }
 

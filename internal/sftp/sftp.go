@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/netmon"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -66,6 +67,21 @@ type Engine struct {
 	done      map[key]*simtime.Queue[[]byte]
 	completed map[key]uint32 // packet counts of finished transfers, for re-acking
 	order     []key          // FIFO bound on completed
+
+	met engineMetrics
+}
+
+// engineMetrics caches the engine's counter handles. All handles are
+// nil (and inert) when no registry was injected.
+type engineMetrics struct {
+	packetsSent  *obs.Counter
+	bytesSent    *obs.Counter
+	retransmits  *obs.Counter
+	windowStalls *obs.Counter
+	transfers    *obs.Counter
+	failures     *obs.Counter
+	packetsRecv  *obs.Counter
+	bytesRecv    *obs.Counter
 }
 
 type ackInfo struct {
@@ -80,8 +96,8 @@ type inTransfer struct {
 }
 
 // NewEngine returns an Engine sending through send and accounting against
-// mon.
-func NewEngine(clock simtime.Clock, mon *netmon.Monitor, send func(dst string, payload []byte) error) *Engine {
+// mon. reg may be nil, in which case the engine records no metrics.
+func NewEngine(clock simtime.Clock, mon *netmon.Monitor, send func(dst string, payload []byte) error, reg *obs.Registry) *Engine {
 	return &Engine{
 		clock:     clock,
 		send:      send,
@@ -90,6 +106,16 @@ func NewEngine(clock simtime.Clock, mon *netmon.Monitor, send func(dst string, p
 		incoming:  make(map[key]*inTransfer),
 		done:      make(map[key]*simtime.Queue[[]byte]),
 		completed: make(map[key]uint32),
+		met: engineMetrics{
+			packetsSent:  reg.Counter("sftp_data_packets_sent_total"),
+			bytesSent:    reg.Counter("sftp_bytes_sent_total"),
+			retransmits:  reg.Counter("sftp_retransmits_total"),
+			windowStalls: reg.Counter("sftp_window_stalls_total"),
+			transfers:    reg.Counter("sftp_transfers_total"),
+			failures:     reg.Counter("sftp_transfer_failures_total"),
+			packetsRecv:  reg.Counter("sftp_data_packets_received_total"),
+			bytesRecv:    reg.Counter("sftp_bytes_received_total"),
+		},
 	}
 }
 
@@ -134,6 +160,8 @@ func (e *Engine) Send(dst string, id uint64, data []byte) error {
 		if hi > len(data) {
 			hi = len(data)
 		}
+		e.met.packetsSent.Inc()
+		e.met.bytesSent.Add(int64(hi - lo))
 		_ = e.send(dst, encodeData(id, i, total, uint64(len(data)), data[lo:hi]))
 	}
 	xmitFresh := func(i uint32) {
@@ -144,6 +172,7 @@ func (e *Engine) Send(dst string, id uint64, data []byte) error {
 		}
 	}
 	xmitRetx := func(i uint32) {
+		e.met.retransmits.Inc()
 		xmit(i)
 		if timedSeq >= 0 && int64(i) <= timedSeq {
 			timedSeq = -1
@@ -183,7 +212,9 @@ func (e *Engine) Send(dst string, id uint64, data []byte) error {
 			// set — fast retransmit handles mid-window holes, so this
 			// path is mostly tail losses) and back off.
 			timeouts++
+			e.met.windowStalls.Inc()
 			if timeouts >= maxConsecutiveTimeouts {
+				e.met.failures.Inc()
 				return fmt.Errorf("%w: %s transfer %d at packet %d/%d",
 					ErrTransferFailed, dst, id, base, total)
 			}
@@ -250,6 +281,7 @@ func (e *Engine) Send(dst string, id uint64, data []byte) error {
 		}
 	}
 
+	e.met.transfers.Inc()
 	peer.ObserveTransfer(int64(len(data)), e.clock.Now().Sub(start))
 	return nil
 }
@@ -296,6 +328,8 @@ func (e *Engine) deliverData(src string, payload []byte) {
 	if !ok {
 		return
 	}
+	e.met.packetsRecv.Inc()
+	e.met.bytesRecv.Add(int64(len(data)))
 	k := key{src, id}
 
 	e.mu.Lock()

@@ -22,7 +22,7 @@ func newPair(s *simtime.Sim, n *netsim.Network) (a, b *node) {
 	mk := func(name string) *node {
 		ep := n.Host(name)
 		mon := netmon.NewMonitor(s)
-		eng := NewEngine(s, mon, ep.Send)
+		eng := NewEngine(s, mon, ep.Send, nil)
 		s.Go(func() {
 			for {
 				payload, src, ok := ep.Recv()

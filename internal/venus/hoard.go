@@ -98,9 +98,18 @@ func (v *Venus) HoardWalk() error {
 		v.mu.Unlock()
 	}()
 
+	v.met.hoardWalks.Inc()
+	phaseStart := v.clock.Now()
+	endPhase := func(name string) {
+		now := v.clock.Now()
+		v.met.hoardPhase[name].Observe(now.Sub(phaseStart).Microseconds())
+		phaseStart = now
+	}
+
 	// ---- Phase 1: status walk ----
 	v.revalidateSuspects()
 	cands := v.statusWalk(state)
+	endPhase("status_walk")
 
 	// ---- Phase 2: interactive approval (Figure 6) ----
 	approved := cands
@@ -127,6 +136,8 @@ func (v *Venus) HoardWalk() error {
 		}
 	}
 
+	endPhase("approval")
+
 	// ---- Phase 3: data walk ----
 	for _, c := range approved {
 		if v.isClosed() || v.State() == Emulating {
@@ -134,9 +145,11 @@ func (v *Venus) HoardWalk() error {
 		}
 		v.fetchForHoard(c.vc, c.fid, c.item.Priority)
 	}
+	endPhase("data_walk")
 
 	// ---- Phase 4: volume stamps (§4.2.2) ----
 	v.acquireVolumeStamps()
+	endPhase("stamps")
 	return nil
 }
 
@@ -179,6 +192,7 @@ func (v *Venus) revalidateSuspects() {
 		}
 		v.mu.Lock()
 		v.stats.ObjValidations += int64(len(group))
+		v.met.objValidations.Add(int64(len(group)))
 		for i, f := range group {
 			if rep.Valid[i] {
 				f.valid = true

@@ -144,6 +144,7 @@ func (v *Venus) AttachJournal(opts JournalOptions) (RecoveryInfo, error) {
 		Policy:       opts.Policy,
 		Interval:     opts.Interval,
 		Clock:        v.clock,
+		Obs:          v.cfg.Obs,
 	}, func(payload []byte) error {
 		var e journalEntry
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {

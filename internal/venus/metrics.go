@@ -1,0 +1,153 @@
+package venus
+
+import (
+	"repro/internal/cml"
+	"repro/internal/obs"
+)
+
+// bandOf buckets a hoard priority into the coarse bands used for cache
+// hit/miss accounting: unhoarded objects, then low/medium/high hoard
+// priority (Figure 6's working-set tiers).
+func bandOf(pri int) string {
+	switch {
+	case pri <= 0:
+		return "none"
+	case pri < 100:
+		return "low"
+	case pri < 600:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+var hoardBands = []string{"none", "low", "medium", "high"}
+
+// hoardPhases names the four phases of HoardWalk, in order.
+var hoardPhases = []string{"status_walk", "approval", "data_walk", "stamps"}
+
+var cancelClasses = []cml.CancelClass{
+	cml.CancelStoreOverwrite, cml.CancelSetAttrOverwrite,
+	cml.CancelIdentity, cml.CancelRemoveMoot,
+}
+
+// residencyBucketsS buckets how long a CML record lived before shipping,
+// in seconds. The aging window default is 600 s, so the buckets straddle
+// it: records shipped well before A mean a forced drain, well after mean
+// a backlogged link.
+var residencyBucketsS = []int64{1, 10, 60, 300, 600, 1200, 3600, 7200}
+
+// hoardPhaseBucketsUS buckets hoard-walk phase durations (microseconds):
+// status walks are sub-second on a LAN but data walks can run minutes on
+// a modem.
+var hoardPhaseBucketsUS = []int64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000, 600_000_000,
+}
+
+// vmetrics holds Venus's pre-registered obs handles. Handles are created
+// once at construction — state transitions and CML cancellations fire
+// under Venus's or the log's mutex, and a pre-resolved atomic handle
+// keeps those paths allocation- and lock-free. Every handle is nil (and
+// inert) when no registry was injected.
+type vmetrics struct {
+	reg *obs.Registry
+
+	cacheHits   map[string]*obs.Counter // by hoard band
+	cacheMisses map[string]*obs.Counter
+
+	verdictTransparent  *obs.Counter
+	verdictDeferred     *obs.Counter
+	verdictDisconnected *obs.Counter
+
+	volValidations   *obs.Counter
+	volValidationsOK *obs.Counter
+	objsSaved        *obs.Counter
+	missingStamp     *obs.Counter
+	objValidations   *obs.Counter
+
+	transitions map[[2]State]*obs.Counter
+
+	reintegrations *obs.Counter
+	reintegFails   *obs.Counter
+	shippedBytes   *obs.Counter
+	shippedRecords *obs.Counter
+	deltaStores    *obs.Counter
+	deltaSaved     *obs.Counter
+	residency      *obs.Histogram
+
+	cancelRecs  map[cml.CancelClass]*obs.Counter
+	cancelBytes map[cml.CancelClass]*obs.Counter
+
+	hoardWalks *obs.Counter
+	hoardPhase map[string]*obs.Histogram
+}
+
+var venusStates = []State{Hoarding, Emulating, WriteDisconnected}
+
+// newVMetrics registers Venus's metric catalog under the client's node
+// address. The gauge funcs close over v and take v.mu when evaluated —
+// legal because obs never evaluates them under its own lock.
+func newVMetrics(reg *obs.Registry, v *Venus, addr string) *vmetrics {
+	client := obs.L("client", addr)
+	m := &vmetrics{
+		reg:         reg,
+		cacheHits:   make(map[string]*obs.Counter, len(hoardBands)),
+		cacheMisses: make(map[string]*obs.Counter, len(hoardBands)),
+		transitions: make(map[[2]State]*obs.Counter),
+		cancelRecs:  make(map[cml.CancelClass]*obs.Counter, len(cancelClasses)),
+		cancelBytes: make(map[cml.CancelClass]*obs.Counter, len(cancelClasses)),
+		hoardPhase:  make(map[string]*obs.Histogram, len(hoardPhases)),
+	}
+	for _, b := range hoardBands {
+		m.cacheHits[b] = reg.Counter("venus_cache_hits_total", client, obs.L("band", b))
+		m.cacheMisses[b] = reg.Counter("venus_cache_misses_total", client, obs.L("band", b))
+	}
+	m.verdictTransparent = reg.Counter("venus_miss_verdicts_total", client, obs.L("verdict", "transparent"))
+	m.verdictDeferred = reg.Counter("venus_miss_verdicts_total", client, obs.L("verdict", "deferred"))
+	m.verdictDisconnected = reg.Counter("venus_miss_verdicts_total", client, obs.L("verdict", "disconnected"))
+
+	m.volValidations = reg.Counter("venus_validations_total", client, obs.L("kind", "volume"))
+	m.volValidationsOK = reg.Counter("venus_volume_validations_ok_total", client)
+	m.objsSaved = reg.Counter("venus_objs_saved_by_volume_total", client)
+	m.missingStamp = reg.Counter("venus_missing_stamp_total", client)
+	m.objValidations = reg.Counter("venus_validations_total", client, obs.L("kind", "object"))
+
+	for _, from := range venusStates {
+		for _, to := range venusStates {
+			if from == to {
+				continue
+			}
+			m.transitions[[2]State{from, to}] = reg.Counter("venus_state_transitions_total",
+				client, obs.L("from", from.String()), obs.L("to", to.String()))
+		}
+	}
+
+	m.reintegrations = reg.Counter("venus_reintegrations_total", client)
+	m.reintegFails = reg.Counter("venus_reintegration_failures_total", client)
+	m.shippedBytes = reg.Counter("venus_shipped_bytes_total", client)
+	m.shippedRecords = reg.Counter("venus_shipped_records_total", client)
+	m.deltaStores = reg.Counter("venus_delta_stores_total", client)
+	m.deltaSaved = reg.Counter("venus_delta_saved_bytes_total", client)
+	m.residency = reg.Histogram("venus_cml_residency_s", residencyBucketsS, client)
+
+	for _, c := range cancelClasses {
+		cl := obs.L("class", string(c))
+		m.cancelRecs[c] = reg.Counter("venus_cml_cancelled_records_total", client, cl)
+		m.cancelBytes[c] = reg.Counter("venus_cml_cancelled_bytes_total", client, cl)
+	}
+
+	m.hoardWalks = reg.Counter("venus_hoard_walks_total", client)
+	for _, p := range hoardPhases {
+		m.hoardPhase[p] = reg.Histogram("venus_hoard_phase_us", hoardPhaseBucketsUS,
+			client, obs.L("phase", p))
+	}
+
+	reg.GaugeFunc("venus_cml_records", func() int64 { return int64(v.CMLRecords()) }, client)
+	reg.GaugeFunc("venus_cml_bytes", v.CMLBytes, client)
+	reg.GaugeFunc("venus_cml_saved_bytes", v.OptimizedBytes, client)
+	return m
+}
+
+// hit/miss record one cache lookup outcome in the object's hoard band.
+func (m *vmetrics) hit(pri int)  { m.cacheHits[bandOf(pri)].Inc() }
+func (m *vmetrics) miss(pri int) { m.cacheMisses[bandOf(pri)].Inc() }

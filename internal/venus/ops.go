@@ -136,11 +136,13 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 	// Dirty objects are local truth: serve them regardless of callbacks.
 	if f != nil && f.dirty {
 		v.cache.touch(f)
+		v.met.hit(f.hoardPri)
 		v.mu.Unlock()
 		return f, nil
 	}
 	if f != nil && f.valid && (!wantData || !f.placeholder) {
 		v.cache.touch(f)
+		v.met.hit(f.hoardPri)
 		v.mu.Unlock()
 		return f, nil
 	}
@@ -149,10 +151,17 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 		// unserviceable miss.
 		if f != nil && (!wantData || !f.placeholder) {
 			v.cache.touch(f)
+			v.met.hit(f.hoardPri)
 			v.mu.Unlock()
 			return f, nil
 		}
 		v.stats.DisconnectedMisses++
+		if f != nil {
+			v.met.miss(f.hoardPri)
+		} else {
+			v.met.miss(0)
+		}
+		v.met.verdictDisconnected.Inc()
 		prog := v.program
 		v.mu.Unlock()
 		v.recordMiss(MissRecord{Time: v.clock.Now(), Path: path, Program: prog})
@@ -174,11 +183,13 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 		}
 		v.mu.Lock()
 		v.stats.ObjValidations++
+		v.met.objValidations.Inc()
 		if ga.Status.Version == f.obj.Status.Version {
 			f.valid = true
 			f.hasCallback = true
 			if !wantData || !f.placeholder {
 				v.cache.touch(f)
+				v.met.hit(f.hoardPri)
 				v.mu.Unlock()
 				return f, nil
 			}
@@ -217,6 +228,13 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 		size = f.obj.Status.Length
 	}
 
+	// A data fetch is now unavoidable: this is a cache miss in the
+	// object's hoard band, whatever the patience verdict below.
+	v.mu.Lock()
+	missPri := f.hoardPri
+	v.mu.Unlock()
+	v.met.miss(missPri)
+
 	// The patience check applies to data fetches while weakly connected.
 	// Monetary network cost is folded in as patience-equivalent seconds
 	// (cost-aware adaptation, paper §8 future work).
@@ -227,6 +245,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 		if cost > tau {
 			v.mu.Lock()
 			v.stats.DeferredMisses++
+			v.met.verdictDeferred.Inc()
 			prog := v.program
 			v.mu.Unlock()
 			v.recordMiss(MissRecord{
@@ -244,6 +263,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 	if state == WriteDisconnected {
 		v.mu.Lock()
 		v.stats.TransparentFetches++
+		v.met.verdictTransparent.Inc()
 		v.mu.Unlock()
 	}
 	return f, nil

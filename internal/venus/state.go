@@ -3,6 +3,7 @@ package venus
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/wire"
 )
@@ -23,6 +24,11 @@ func (v *Venus) transition(to State, reason string) {
 	}
 	v.state = to
 	v.stats.Transitions[fmt.Sprintf("%s->%s", from, to)]++
+	v.met.transitions[[2]State{from, to}].Inc()
+	// Event only takes the trace-ring lock, which never calls out — safe
+	// while holding v.mu.
+	v.met.reg.Event("venus_state_transition",
+		obs.F("from", from.String()), obs.F("to", to.String()), obs.F("reason", reason))
 
 	switch {
 	case to == Emulating:
@@ -128,6 +134,7 @@ func (v *Venus) validateOnReconnect() {
 		if v.cfg.DisableVolumeCallbacks || !vc.hasStamp {
 			if !v.cfg.DisableVolumeCallbacks {
 				v.stats.MissingStamp++
+				v.met.missingStamp.Inc()
 			}
 			for _, f := range cached {
 				if !f.dirty {
@@ -165,9 +172,12 @@ func (v *Venus) validateOnReconnect() {
 	v.mu.Lock()
 	for i, e := range entries {
 		v.stats.VolValidations++
+		v.met.volValidations.Inc()
 		if rep.Valid[i] {
 			v.stats.VolValidationsOK++
 			v.stats.ObjsSavedByVolume += int64(e.objs)
+			v.met.volValidationsOK.Inc()
+			v.met.objsSaved.Add(int64(e.objs))
 			// Volume callback reacquired as a side effect; every
 			// cached object from the volume is revalidated at once.
 			for _, f := range v.cache.inVolume(e.vc.info.ID) {

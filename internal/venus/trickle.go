@@ -151,8 +151,10 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 		}
 		shippedBytes += deltaWire
 		committed := make(map[uint64]bool, len(records))
+		now := v.clock.Now()
 		for _, r := range records {
 			committed[r.Seq] = true
+			v.met.residency.Observe(int64(now.Sub(r.Time).Seconds()))
 		}
 		vc.log.CommitReintegration()
 		// The server holds these records now: journal their removal so a
@@ -164,6 +166,11 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 		v.stats.ShippedBytes += shippedBytes
 		v.stats.DeltaStores += int64(len(deltas))
 		v.stats.DeltaSavedBytes += deltaSaved
+		v.met.reintegrations.Inc()
+		v.met.shippedRecords.Add(int64(len(records)))
+		v.met.shippedBytes.Add(shippedBytes)
+		v.met.deltaStores.Add(int64(len(deltas)))
+		v.met.deltaSaved.Add(deltaSaved)
 		vc.stamp = rep.VolStamp
 		for _, st := range rep.Statuses {
 			if f := v.cache.get(st.FID); f != nil {
@@ -224,6 +231,7 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 func (v *Venus) bumpFailure() {
 	v.mu.Lock()
 	v.stats.ReintegrationFailures++
+	v.met.reintegFails.Inc()
 	v.mu.Unlock()
 }
 
@@ -370,8 +378,10 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 	}
 
 	var shippedBytes int64
+	now := v.clock.Now()
 	for _, r := range records {
 		shippedBytes += r.Size()
+		v.met.residency.Observe(int64(now.Sub(r.Time).Seconds()))
 	}
 	vc.log.CommitSubtree(seqs)
 	v.logDrop(vc, seqs)
@@ -379,6 +389,9 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 	v.stats.Reintegrations++
 	v.stats.ShippedRecords += int64(len(records))
 	v.stats.ShippedBytes += shippedBytes
+	v.met.reintegrations.Inc()
+	v.met.shippedRecords.Add(int64(len(records)))
+	v.met.shippedBytes.Add(shippedBytes)
 	vc.stamp = rep.VolStamp
 	for _, st := range rep.Statuses {
 		if fo := v.cache.get(st.FID); fo != nil {

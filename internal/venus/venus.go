@@ -29,6 +29,7 @@ import (
 	"repro/internal/codafs"
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/simtime"
 	"repro/internal/wire"
@@ -118,6 +119,9 @@ type Config struct {
 	// methodology ("we forced Venus to remain write disconnected at all
 	// bandwidths").
 	PinWriteDisconnected bool
+	// Obs receives this Venus's metrics and trace events (nil: no
+	// observability; instrumentation is inert).
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -151,6 +155,7 @@ type Venus struct {
 	cfg   Config
 	node  *rpc2.Node
 	peer  *netmon.Peer
+	met   *vmetrics
 
 	mu         sync.Mutex
 	state      State
@@ -244,7 +249,11 @@ func New(clock simtime.Clock, conn netsim.PacketConn, cfg Config) *Venus {
 	}
 	v.stats.Transitions = make(map[string]int64)
 	v.cache = newCache(cfg.CacheBytes)
-	v.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), v.handleServerCall)
+	// Metric handles must exist before the rpc2 node: NewNode starts the
+	// receive loop, and on a real connection a server call may be
+	// dispatched the instant the loop is up.
+	v.met = newVMetrics(cfg.Obs, v, conn.LocalAddr())
+	v.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), v.handleServerCall, cfg.Obs)
 	v.peer = v.node.Monitor().Peer(cfg.Server)
 	clock.Go(v.trickleDaemon)
 	clock.Go(v.hoardDaemon)
@@ -299,9 +308,11 @@ func (v *Venus) CacheStats() CacheStats {
 	}
 }
 
-// Bandwidth returns the current estimate of path bandwidth to the server,
-// in bits per second (exported from the transport per §4.1).
-func (v *Venus) Bandwidth() int64 { return v.peer.Bandwidth() }
+// ServerPeer returns the transport's view of the server link — bandwidth
+// estimate, smoothed RTT, and RTO (§4.1). Callers read the transport's
+// numbers directly rather than through bespoke Venus accessors; the same
+// figures are exported as netmon gauges when a registry is injected.
+func (v *Venus) ServerPeer() *netmon.Peer { return v.peer }
 
 // CMLBytes returns the total bytes awaiting reintegration across volumes.
 func (v *Venus) CMLBytes() int64 {
@@ -403,6 +414,12 @@ func (v *Venus) Mount(volume string) error {
 	if v.cfg.DisableLogOptimize {
 		vc.log.SetOptimize(false)
 	}
+	// Per-class cancellation accounting: the observer runs under the
+	// log's mutex and only bumps pre-registered atomic counters.
+	vc.log.SetCancelObserver(func(class cml.CancelClass, records int, bytes int64) {
+		v.met.cancelRecs[class].Add(int64(records))
+		v.met.cancelBytes[class].Add(bytes)
+	})
 	v.volumes[volume] = vc
 	v.volByID[rep.Info.ID] = vc
 	f := v.cache.install(rootRep.Object.Clone(), false)

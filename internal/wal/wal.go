@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/crashfs"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -75,6 +76,10 @@ type Options struct {
 	// log itself never touches the real clock — and is required only
 	// for SyncInterval.
 	Clock simtime.Clock
+	// Obs receives the log's counters (nil: no observability). Counters
+	// are aggregate across all WALs sharing a registry: the registry
+	// hands every Open the same handles.
+	Obs *obs.Registry
 }
 
 // RecoveryStats describes what Open found.
@@ -106,6 +111,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // WAL is an open write-ahead log positioned to append.
 type WAL struct {
 	opts Options
+	met  walMetrics
 
 	mu       sync.Mutex
 	seg      crashfs.File // active segment (append handle)
@@ -113,6 +119,28 @@ type WAL struct {
 	segSize  int64
 	lastSync time.Time // SyncInterval bookkeeping
 	dirty    bool      // unsynced appends pending
+}
+
+// walMetrics holds the log's obs handles; all nil (inert) without
+// Options.Obs.
+type walMetrics struct {
+	appends     *obs.Counter
+	appendBytes *obs.Counter
+	fsyncs      *obs.Counter
+	replayed    *obs.Counter
+	tornTruncs  *obs.Counter
+	tornBytes   *obs.Counter
+}
+
+func newWALMetrics(reg *obs.Registry) walMetrics {
+	return walMetrics{
+		appends:     reg.Counter("wal_appends_total"),
+		appendBytes: reg.Counter("wal_append_bytes_total"),
+		fsyncs:      reg.Counter("wal_fsyncs_total"),
+		replayed:    reg.Counter("wal_replay_records_total"),
+		tornTruncs:  reg.Counter("wal_torn_truncations_total"),
+		tornBytes:   reg.Counter("wal_torn_bytes_total"),
+	}
 }
 
 func segName(idx uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, idx, segSuffix) }
@@ -150,10 +178,15 @@ func Open(opts Options, apply func(payload []byte) error) (*WAL, RecoveryStats, 
 		return nil, RecoveryStats{}, fmt.Errorf("wal: mkdir %s: %w", opts.Dir, err)
 	}
 
-	w := &WAL{opts: opts}
+	w := &WAL{opts: opts, met: newWALMetrics(opts.Obs)}
 	stats, err := w.recover(apply)
 	if err != nil {
 		return nil, stats, err
+	}
+	w.met.replayed.Add(int64(stats.Records))
+	w.met.tornBytes.Add(stats.TornBytes)
+	if stats.TornBytes > 0 || stats.TornSegments > 0 {
+		w.met.tornTruncs.Inc()
 	}
 	if w.opts.Policy == SyncInterval {
 		w.lastSync = w.opts.Clock.Now()
@@ -320,6 +353,8 @@ func (w *WAL) Append(payload []byte) error {
 	}
 	w.segSize += int64(len(frame))
 	w.dirty = true
+	w.met.appends.Inc()
+	w.met.appendBytes.Add(int64(len(frame)))
 
 	switch w.opts.Policy {
 	case SyncEachRecord:
@@ -357,6 +392,7 @@ func (w *WAL) syncLocked() error {
 		return fmt.Errorf("wal: sync segment %d: %w", w.segIdx, err)
 	}
 	w.dirty = false
+	w.met.fsyncs.Inc()
 	return nil
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench bench-json vet fmt clean crash
+.PHONY: all build test race lint lint-ignores bench bench-json vet fmt clean crash
 
 all: build vet lint test
 
@@ -20,8 +20,15 @@ crash:
 	$(GO) test -race -count=1 -run 'Crash|Torn|Journal|Recovery|Corrupt' \
 		./internal/wal/ ./internal/crashfs/ ./internal/venus/ ./internal/server/ ./internal/cml/
 
+# Same wall-clock budget as CI so a local `make lint` catches an
+# analysis-time regression before the workflow does.
 lint:
-	$(GO) run ./cmd/codalint ./...
+	$(GO) run ./cmd/codalint -deadline 60s ./...
+
+# Audit of every //codalint:ignore suppression (file:line, analyzer,
+# reason).
+lint-ignores:
+	$(GO) run ./cmd/codalint -ignores ./...
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...

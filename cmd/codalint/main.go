@@ -1,10 +1,17 @@
 // Command codalint runs the repository's custom static-analysis suite:
 // simclock (virtual-clock discipline), lockguard (mutex discipline),
-// errwrap (error-wrapping discipline), and testhygiene (test-helper and
-// real-sleep checks). See internal/lint for the analyzers and README.md
-// for the allowlist and suppression policy.
+// errwrap (error-wrapping discipline), testhygiene (test-helper and
+// real-sleep checks), obsname (metric naming), and the interprocedural
+// trio — maporder (map-iteration-order determinism taint), lockhold
+// (mutexes held across blocking calls), and leakcheck (goroutine
+// lifecycle). See internal/lint for the analyzers and README.md for the
+// allowlist and suppression policy.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error.
+// Flags: -json (machine-readable findings), -ignores (suppression
+// audit), -deadline DUR (wall-clock budget for CI).
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error, 3 deadline
+// exceeded.
 package main
 
 import (

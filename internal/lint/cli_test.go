@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,5 +132,101 @@ func TestMainSpecificDirectory(t *testing.T) {
 	errb.Reset()
 	if code := Main([]string{filepath.Join(root, "internal", "venus")}, &out, &errb); code != ExitFindings {
 		t.Fatalf("lint of dirty subpackage: exit %d, want %d", code, ExitFindings)
+	}
+}
+
+func TestMainJSONOutput(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod":                "module faux\n\ngo 1.22\n",
+		"internal/venus/ops.go": dirtyOps,
+	})
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-json", "./..."}, &out, &errb); code != ExitFindings {
+		t.Fatalf("-json with findings: exit %d, want %d (stderr %s)", code, ExitFindings, errb.String())
+	}
+	var decoded []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(decoded) == 0 {
+		t.Fatal("-json output is empty despite findings")
+	}
+	f := decoded[0]
+	if !strings.Contains(f.File, "ops.go") || f.Line == 0 || f.Col == 0 ||
+		f.Analyzer != "simclock" || !strings.Contains(f.Message, "time.Now") {
+		t.Fatalf("-json finding fields wrong: %+v", f)
+	}
+}
+
+func TestMainIgnoresAudit(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module faux\n\ngo 1.22\n",
+		"internal/ok/ok.go": `package ok
+
+import "time"
+
+func Stamp() time.Time {
+	//codalint:ignore simclock boot banner timestamp is cosmetic
+	return time.Now()
+}
+`,
+	})
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-ignores", "./..."}, &out, &errb); code != ExitClean {
+		t.Fatalf("-ignores: exit %d, want %d (stderr %s)", code, ExitClean, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "ok.go:6:") || !strings.Contains(s, "[simclock]") ||
+		!strings.Contains(s, "boot banner timestamp is cosmetic") ||
+		!strings.Contains(s, "1 suppression(s)") {
+		t.Fatalf("-ignores audit output wrong:\n%s", s)
+	}
+}
+
+func TestMainDeadline(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod":     "module faux\n\ngo 1.22\n",
+		"cmd/x/x.go": cleanMain,
+	})
+	chdir(t, root)
+
+	// A generous budget passes and reports the measured wall-clock.
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-deadline", "10m", "./..."}, &out, &errb); code != ExitClean {
+		t.Fatalf("generous deadline: exit %d, stderr %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "wall-clock") {
+		t.Fatalf("deadline run must report wall-clock, got: %s", errb.String())
+	}
+
+	// An impossible budget fails with the dedicated exit code.
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-deadline=1ns", "./..."}, &out, &errb); code != ExitDeadline {
+		t.Fatalf("1ns deadline: exit %d, want %d", code, ExitDeadline)
+	}
+	if !strings.Contains(errb.String(), "exceeded") {
+		t.Fatalf("deadline failure must say exceeded, got: %s", errb.String())
+	}
+}
+
+func TestMainBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-nope", "./..."}, &out, &errb); code != ExitUsage {
+		t.Fatalf("unknown flag: exit %d, want %d", code, ExitUsage)
+	}
+	if code := Main([]string{"./...", "-deadline"}, &out, &errb); code != ExitUsage {
+		t.Fatalf("-deadline without duration: exit %d, want %d", code, ExitUsage)
+	}
+	if code := Main([]string{"-deadline=banana", "./..."}, &out, &errb); code != ExitUsage {
+		t.Fatalf("-deadline with junk duration: exit %d, want %d", code, ExitUsage)
 	}
 }

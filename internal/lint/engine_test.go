@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// engineModule materializes a three-package module whose effects must
+// propagate leaf → mid → top across two package boundaries: a channel
+// park, an fmt sink, and an endless loop, each wrapped once per hop.
+func engineModule(t *testing.T) *Module {
+	t.Helper()
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module faux\n\ngo 1.22\n",
+		"internal/leaf/leaf.go": `package leaf
+
+import (
+	"fmt"
+	"io"
+)
+
+func Park() {
+	ch := make(chan int)
+	<-ch
+}
+
+func Emit(w io.Writer, s string) {
+	fmt.Fprintln(w, s)
+}
+
+func Forever() {
+	for {
+	}
+}
+`,
+		"internal/mid/mid.go": `package mid
+
+import (
+	"io"
+
+	"faux/internal/leaf"
+)
+
+func Relay()          { leaf.Park() }
+func Out(w io.Writer) { leaf.Emit(w, "x") }
+func SpinWrap()       { leaf.Forever() }
+`,
+		"internal/top/top.go": `package top
+
+import (
+	"io"
+
+	"faux/internal/mid"
+)
+
+func Caller()            { mid.Relay() }
+func Writer(w io.Writer) { mid.Out(w) }
+func Launch()            { go mid.SpinWrap() }
+`,
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// modPkg finds a loaded package by its module-relative directory.
+func modPkg(t *testing.T, mod *Module, relDir string) *Package {
+	t.Helper()
+	for _, p := range mod.Packages {
+		if p.RelDir == relDir {
+			return p
+		}
+	}
+	t.Fatalf("package %s not loaded", relDir)
+	return nil
+}
+
+// engineNode finds a graph node by display name within a package.
+func engineNode(t *testing.T, e *Engine, pkg *Package, name string) *FuncNode {
+	t.Helper()
+	for _, n := range e.PkgNodes(pkg) {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("node %s not found in %s", name, pkg.RelDir)
+	return nil
+}
+
+func TestEngineCrossPackageFixpoint(t *testing.T) {
+	mod := engineModule(t)
+	eng := NewEngine(mod.Packages)
+	top := modPkg(t, mod, "internal/top")
+
+	caller := engineNode(t, eng, top, "Caller")
+	if !caller.Blocks || !strings.Contains(caller.BlockVia, "Relay") ||
+		!strings.Contains(caller.BlockVia, "channel receive") {
+		t.Errorf("Caller: Blocks=%v via %q; want blocking through Relay down to a channel receive",
+			caller.Blocks, caller.BlockVia)
+	}
+	if caller.Serializes {
+		t.Errorf("Caller inherits serialization it never calls: via %q", caller.SerialVia)
+	}
+
+	writer := engineNode(t, eng, top, "Writer")
+	if !writer.Serializes || !strings.Contains(writer.SerialVia, "Out") {
+		t.Errorf("Writer: Serializes=%v via %q; want the fmt sink through Out",
+			writer.Serializes, writer.SerialVia)
+	}
+	if writer.Blocks {
+		t.Errorf("Writer inherits blocking it never calls: via %q", writer.BlockVia)
+	}
+
+	launch := engineNode(t, eng, top, "Launch")
+	if len(launch.Spawns) != 1 {
+		t.Fatalf("Launch: %d spawn sites, want 1", len(launch.Spawns))
+	}
+	sp := launch.Spawns[0]
+	if sp.Target == nil || !sp.Target.Endless || !strings.Contains(sp.Target.EndlessVia, "Forever") {
+		t.Errorf("Launch spawn target must be endless through Forever; got %+v", sp.Target)
+	}
+
+	// Leaf facts stay local truths: the sink does not block.
+	leaf := modPkg(t, mod, "internal/leaf")
+	if n := engineNode(t, eng, leaf, "Emit"); n.Blocks {
+		t.Errorf("Emit must not block (via %q)", n.BlockVia)
+	}
+}
+
+// TestEngineRootsMatchBySuffix pins that the effect-root tables match
+// repository packages by path suffix, so a fixture module's
+// faux/internal/simtime is recognized exactly like repro/internal/simtime.
+func TestEngineRootsMatchBySuffix(t *testing.T) {
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module faux\n\ngo 1.22\n",
+		"internal/simtime/q.go": `package simtime
+
+type Queue struct{}
+
+func (Queue) Get() int { return 0 }
+`,
+		"internal/use/use.go": `package use
+
+import "faux/internal/simtime"
+
+func Drain(q simtime.Queue) int { return q.Get() }
+`,
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(mod.Packages)
+	drain := engineNode(t, eng, modPkg(t, mod, "internal/use"), "Drain")
+	if !drain.Blocks || !strings.Contains(drain.BlockVia, "simtime.Queue.Get") {
+		t.Errorf("Drain: Blocks=%v via %q; want the simtime.Queue.Get root matched by suffix",
+			drain.Blocks, drain.BlockVia)
+	}
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests are the acceptance fence for the interprocedural engine:
+// each analyzer must see its effect through at least one call hop that
+// crosses a package boundary.
+
+// loadFauxModule materializes and loads a module named faux.
+func loadFauxModule(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	all := map[string]string{"go.mod": "module faux\n\ngo 1.22\n"}
+	for k, v := range files {
+		all[k] = v
+	}
+	mod, err := LoadModule(writeFixture(t, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestMaporderCrossPackage(t *testing.T) {
+	mod := loadFauxModule(t, map[string]string{
+		"internal/enc/enc.go": `package enc
+
+import (
+	"fmt"
+	"io"
+)
+
+// Write is the serializing leaf; the map range lives a package away.
+func Write(w io.Writer, s string) {
+	fmt.Fprintln(w, s)
+}
+`,
+		"internal/dump/dump.go": `package dump
+
+import (
+	"io"
+
+	"faux/internal/enc"
+)
+
+func Dump(w io.Writer, m map[string]int) {
+	for k := range m {
+		enc.Write(w, k)
+	}
+}
+`,
+	})
+	got := Run(mod.Packages, []Analyzer{NewMaporder()})
+	if len(got) != 1 {
+		t.Fatalf("cross-package maporder: %d findings, want 1:\n%v", len(got), got)
+	}
+	f := got[0]
+	if !strings.Contains(f.Pos.Filename, "dump.go") ||
+		!strings.Contains(f.Message, "iteration order of map m") ||
+		!strings.Contains(f.Message, "Write") {
+		t.Fatalf("cross-package maporder finding: %v", f)
+	}
+}
+
+func TestLockholdCrossPackage(t *testing.T) {
+	mod := loadFauxModule(t, map[string]string{
+		"internal/rpcish/rpcish.go": `package rpcish
+
+// Call parks on a reply channel, like an rpc2 round-trip.
+func Call() int {
+	ch := make(chan int)
+	return <-ch
+}
+`,
+		"internal/srv/srv.go": `package srv
+
+import (
+	"sync"
+
+	"faux/internal/rpcish"
+)
+
+type Server struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *Server) Probe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = rpcish.Call()
+}
+`,
+	})
+	got := Run(mod.Packages, []Analyzer{NewLockhold()})
+	if len(got) != 1 {
+		t.Fatalf("cross-package lockhold: %d findings, want 1:\n%v", len(got), got)
+	}
+	f := got[0]
+	if !strings.Contains(f.Pos.Filename, "srv.go") ||
+		!strings.Contains(f.Message, "s.mu") ||
+		!strings.Contains(f.Message, "rpcish.Call") {
+		t.Fatalf("cross-package lockhold finding: %v", f)
+	}
+}
+
+func TestLeakcheckCrossPackage(t *testing.T) {
+	mod := loadFauxModule(t, map[string]string{
+		"internal/daemon/daemon.go": `package daemon
+
+// Spin is the unstoppable loop; both spawns live a package away.
+func Spin() {
+	for {
+	}
+}
+`,
+		"internal/simtime/clock.go": `package simtime
+
+type Clock struct{}
+
+func (Clock) Go(fn func()) { go fn() }
+`,
+		"internal/owner/owner.go": `package owner
+
+import (
+	"faux/internal/daemon"
+	"faux/internal/simtime"
+)
+
+func Start() {
+	go daemon.Spin()
+}
+
+func StartVia(c simtime.Clock) {
+	c.Go(daemon.Spin)
+}
+`,
+	})
+	got := Run(mod.Packages, []Analyzer{NewLeakcheck()})
+	if len(got) != 2 {
+		t.Fatalf("cross-package leakcheck: %d findings, want 2 (go stmt + clock spawn):\n%v", len(got), got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Pos.Filename, "owner.go") ||
+			!strings.Contains(f.Message, "can never stop") ||
+			!strings.Contains(f.Message, "Spin") {
+			t.Fatalf("cross-package leakcheck finding: %v", f)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// Leakcheck is the goroutine-lifecycle analyzer: every goroutine launch
+// site — a `go` statement or a clock.Go(fn) spawn — whose target
+// transitively enters a condition-less for loop with no reachable exit
+// is reported. A daemon that can never observe its owner's shutdown
+// outlives the simulation that spawned it: under a Sim clock it parks
+// forever and poisons quiescence detection; under the real clock it is
+// a leak. The per-volume trickle loops, hoard walks, and netmon probes
+// all follow the required discipline — an exit tied to the owner's
+// Close (a closed flag, a done channel, a queue that drains ok=false) —
+// and this analyzer pins that discipline statically.
+//
+// The endless-loop fact is computed by the interprocedural engine, so a
+// spawn of a harmless-looking wrapper is still reported when the loop
+// hides two static calls away in another package. Break statements that
+// target an inner select or switch do not count as loop exits; that
+// shape gets its own diagnostic, since `for { select { case <-done:
+// break } }` is the classic almost-correct shutdown.
+type Leakcheck struct {
+	eng *Engine
+}
+
+// NewLeakcheck returns the analyzer; the engine is bound by Run.
+func NewLeakcheck() *Leakcheck { return &Leakcheck{} }
+
+// Name implements Analyzer.
+func (*Leakcheck) Name() string { return "leakcheck" }
+
+// Doc implements Analyzer.
+func (*Leakcheck) Doc() string {
+	return "every goroutine launch must have a reachable stop path tied to its owner's shutdown"
+}
+
+// Bind implements interprocAnalyzer.
+func (l *Leakcheck) Bind(e *Engine) { l.eng = e }
+
+// Analyze implements Analyzer.
+func (l *Leakcheck) Analyze(pkg *Package) []Finding {
+	if l.eng == nil {
+		l.Bind(NewEngine([]*Package{pkg}))
+	}
+	var out []Finding
+	for _, n := range l.eng.PkgNodes(pkg) {
+		for _, sp := range n.Spawns {
+			t := sp.Target
+			if t == nil || !t.Endless {
+				continue
+			}
+			hint := "add a stop path tied to the owner's shutdown (done channel, closed flag, or context)"
+			if t.selectBreakOnly {
+				hint = "its break exits only the inner select/switch, never the loop — return instead"
+			}
+			out = append(out, Finding{
+				Pos:      pkg.Fset.Position(sp.Pos),
+				Analyzer: l.Name(),
+				Message: fmt.Sprintf("%s spawns a goroutine that can never stop (%s); %s",
+					sp.Label, t.EndlessVia, hint),
+			})
+		}
+	}
+	return out
+}

@@ -38,7 +38,17 @@ func Analyzers() []Analyzer {
 		NewErrwrap(),
 		NewTesthygiene(),
 		NewObsname(),
+		NewMaporder(),
+		NewLockhold(),
+		NewLeakcheck(),
 	}
+}
+
+// interprocAnalyzer is implemented by analyzers that consume the
+// whole-program engine; Run binds one shared engine before analysis.
+type interprocAnalyzer interface {
+	Analyzer
+	Bind(*Engine)
 }
 
 // IgnoreDirective is the comment prefix that suppresses a finding:
@@ -55,6 +65,7 @@ type suppression struct {
 	file     string
 	line     int // the directive's own line
 	analyzer string
+	reason   string
 	used     bool
 }
 
@@ -88,6 +99,7 @@ func collectSuppressions(pkg *Package) ([]*suppression, []Finding) {
 					file:     pos.Filename,
 					line:     pos.Line,
 					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
 				})
 			}
 		}
@@ -97,7 +109,19 @@ func collectSuppressions(pkg *Package) ([]*suppression, []Finding) {
 
 // Run applies every analyzer to every package, honoring suppressions.
 // Unused suppressions are reported so stale directives can't linger.
+// Interprocedural analyzers share one engine built over all of pkgs, so
+// summaries resolve across package boundaries whenever the packages are
+// loaded together (LoadModule loads the whole module).
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var eng *Engine
+	for _, a := range analyzers {
+		if ia, ok := a.(interprocAnalyzer); ok {
+			if eng == nil {
+				eng = NewEngine(pkgs)
+			}
+			ia.Bind(eng)
+		}
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		sups, bad := collectSuppressions(pkg)

@@ -120,6 +120,18 @@ func TestObsnameFixture(t *testing.T) {
 	runFixture(t, "obsname", "internal/fixture", []Analyzer{NewObsname()})
 }
 
+func TestMaporderFixture(t *testing.T) {
+	runFixture(t, "maporder", "internal/fixture", []Analyzer{NewMaporder()})
+}
+
+func TestLockholdFixture(t *testing.T) {
+	runFixture(t, "lockhold", "internal/fixture", []Analyzer{NewLockhold()})
+}
+
+func TestLeakcheckFixture(t *testing.T) {
+	runFixture(t, "leakcheck", "internal/fixture", []Analyzer{NewLeakcheck()})
+}
+
 // writeFixture materializes a file tree under a fresh temp dir.
 func writeFixture(t *testing.T, files map[string]string) string {
 	t.Helper()

@@ -1,0 +1,72 @@
+package leakcheckfix
+
+type daemon struct {
+	done chan struct{}
+}
+
+// spin can never be stopped: a condition-less loop with no exit.
+func spin() {
+	for {
+	}
+}
+
+// Bad: spawning the unstoppable loop directly.
+func startSpin() {
+	go spin() // want "spawns a goroutine that can never stop"
+}
+
+// loopSelectBreak is the classic almost-correct shutdown: the break
+// exits the select, not the loop.
+func (d *daemon) loopSelectBreak() {
+	for {
+		select {
+		case <-d.done:
+			break
+		}
+	}
+}
+
+// Bad, with the dedicated diagnostic for the select-break shape.
+func (d *daemon) start() {
+	go d.loopSelectBreak() // want "its break exits only the inner select/switch"
+}
+
+// loopReturn observes shutdown correctly.
+func (d *daemon) loopReturn() {
+	for {
+		select {
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// Clean: the daemon has a reachable stop path.
+func (d *daemon) startGood() {
+	go d.loopReturn()
+}
+
+// wrapper hides the endless loop one static call away; the engine's
+// summary still surfaces it at the spawn site.
+func wrapper() { spin() }
+
+func startWrapper() {
+	go wrapper() // want "spawns a goroutine that can never stop"
+}
+
+// clk mimics the simtime spawner shape: a method named Go taking one
+// func() argument.
+type clk struct{}
+
+func (clk) Go(fn func()) { go fn() }
+
+// Bad: the clock-spawn path is checked exactly like a go statement.
+func startViaGo(c clk) {
+	c.Go(spin) // want "spawns a goroutine that can never stop"
+}
+
+// Suppressed: a process-lifetime daemon by explicit decision.
+func startForever() {
+	//codalint:ignore leakcheck fixture pin: process-lifetime daemon by design
+	go spin()
+}

@@ -1,0 +1,93 @@
+package lockholdfix
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu      sync.Mutex
+	drainMu sync.Mutex
+	items   map[string]int
+	ch      chan int
+	wake    chan struct{}
+}
+
+// Bad: sleeping while the lock is held (deferred unlock holds it to the
+// end of the function).
+func (s *store) slowPut(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "held across blocking call time.Sleep"
+	s.items[k] = v
+}
+
+// Bad: a direct channel send inside the critical section.
+func (s *store) publish(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "held across channel send"
+	s.mu.Unlock()
+}
+
+// wait parks on a channel; it is the blocking leaf for transit below.
+func (s *store) wait() {
+	<-s.wake
+}
+
+// Bad: the blocking operation is one static call away — the engine's
+// summary makes the helper's park visible at this call site.
+func (s *store) putAndWait(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.wait() // want "held across blocking call s.wait"
+	s.mu.Unlock()
+}
+
+// Clean: release before parking — the simtime Sim.Sleep shape. The
+// region closes at Unlock, so the receive below is unheld.
+func (s *store) unlockThenWait(k string) int {
+	s.mu.Lock()
+	v := s.items[k]
+	s.mu.Unlock()
+	<-s.wake
+	return v
+}
+
+// Bad: an early unlock inside a branch does not release the lock for
+// the fall-through — the else-less path really does still hold it.
+func (s *store) branchUnlock(k string) {
+	s.mu.Lock()
+	if _, ok := s.items[k]; ok {
+		s.mu.Unlock()
+		return
+	}
+	time.Sleep(time.Millisecond) // want "held across blocking call time.Sleep"
+	s.mu.Unlock()
+}
+
+// Suppressed pin of the WAL shape: a mutex that IS the serialization
+// point for the blocking operation it covers is intentional, and the
+// reasoned ignore is how that intent is recorded.
+func (s *store) fsyncUnderOwnMu() {
+	s.mu.Lock()
+	//codalint:ignore lockhold fixture pin: this mutex is the serialization point for the flush it covers
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+// Suppressed pin of the work-lock shape: drainMu serializes whole drain
+// attempts by design, and blocking under it is the point.
+func (s *store) drainUnderWorkLock() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	//codalint:ignore lockhold fixture pin: drainMu is a work lock serializing whole drains by design
+	<-s.wake
+}
+
+// Clean: the launch itself does not block; the goroutine parks on its
+// own stack.
+func (s *store) spawnUnderLock() {
+	s.mu.Lock()
+	go s.wait()
+	s.mu.Unlock()
+}

@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -216,8 +217,15 @@ func (n *Node) sweepReplyCache() {
 			n.mu.Unlock()
 			return
 		}
-		for src, pc := range n.replyCache {
-			if len(pc.inProgress) > 0 {
+		// Probe in sorted order: Peer registers gauges on first sight,
+		// and that registration order must not depend on map iteration.
+		srcs := make([]string, 0, len(n.replyCache))
+		for src := range n.replyCache {
+			srcs = append(srcs, src)
+		}
+		sort.Strings(srcs)
+		for _, src := range srcs {
+			if len(n.replyCache[src].inProgress) > 0 {
 				continue
 			}
 			if !n.mon.Peer(src).Alive(replyCacheTTL) {

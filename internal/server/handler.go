@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/cml"
@@ -333,8 +334,16 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 	// Reconstruct delta-shipped stores against the server's current
 	// contents (§4.1's "ship file differences" enhancement). A base
 	// mismatch fails the chunk atomically; the client retries with full
-	// contents.
-	for idx, dd := range req.Deltas {
+	// contents. Indices are applied in ascending order so which failure
+	// surfaces (and the hash-verified reconstruction order) never
+	// depends on map iteration.
+	deltaIdx := make([]int, 0, len(req.Deltas))
+	for idx := range req.Deltas {
+		deltaIdx = append(deltaIdx, idx)
+	}
+	sort.Ints(deltaIdx)
+	for _, idx := range deltaIdx {
+		dd := req.Deltas[idx]
 		if idx < 0 || idx >= len(recs) || recs[idx].Kind != cml.Store {
 			v.mu.Unlock()
 			return wire.ReintegrateRep{}, fmt.Errorf("delta index %d invalid", idx)

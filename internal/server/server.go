@@ -356,7 +356,14 @@ func (s *Server) sweepClients() {
 	mon := s.node.Monitor()
 	s.clientsMu.Lock()
 	defer s.clientsMu.Unlock()
+	// Probe in sorted order: Peer registers gauges on first sight, and
+	// that registration order must not depend on map iteration.
+	addrs := make([]string, 0, len(s.clients))
 	for c := range s.clients {
+		addrs = append(addrs, c)
+	}
+	sort.Strings(addrs)
+	for _, c := range addrs {
 		if !mon.Peer(c).Alive(clientTTL) {
 			delete(s.clients, c)
 		}
@@ -400,6 +407,7 @@ func (s *Server) CreateVolume(name string) (codafs.VolumeInfo, error) {
 	id := s.nextVolID + 1
 	modTime := s.clock.Now()
 	v := newVolume(id, name, modTime)
+	//codalint:ignore lockhold journal-first commit: s.mu must cover the meta append so a concurrent CreateVolume cannot reorder LSNs
 	if err := s.journalCreateLocked(v, modTime); err != nil {
 		return codafs.VolumeInfo{}, fmt.Errorf("server: create volume %q: journal: %w", name, err)
 	}

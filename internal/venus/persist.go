@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/cml"
 	"repro/internal/codafs"
@@ -42,15 +43,28 @@ type stateImage struct {
 func (v *Venus) SaveState(w io.Writer) error { return v.saveState(w, 0) }
 
 func (v *Venus) saveState(w io.Writer, lsn uint64) error {
+	// The image is gob-encoded and compared byte-for-byte by the crash
+	// matrices, so every map is drained in sorted key order: identical
+	// states must serialize identically.
 	v.mu.Lock()
 	img := stateImage{JournalLSN: lsn}
-	for _, e := range v.hdb {
-		img.HDB = append(img.HDB, *e)
+	paths := make([]string, 0, len(v.hdb))
+	for p := range v.hdb {
+		paths = append(paths, p)
 	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		img.HDB = append(img.HDB, *v.hdb[p])
+	}
+	names := make([]string, 0, len(v.volumes))
+	for name := range v.volumes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var logs []*cml.Log
-	for name, vc := range v.volumes {
+	for _, name := range names {
 		img.Volumes = append(img.Volumes, name)
-		logs = append(logs, vc.log)
+		logs = append(logs, v.volumes[name].log)
 	}
 	v.mu.Unlock()
 

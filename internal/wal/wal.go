@@ -339,6 +339,7 @@ func (w *WAL) Append(payload []byte) error {
 	}
 
 	if w.segSize > 0 && w.segSize+frameHeader+int64(len(payload)) > w.opts.SegmentBytes {
+		//codalint:ignore lockhold the WAL mutex is the fsync serialization point: rotation must be ordered with appends
 		if err := w.rotateLocked(); err != nil {
 			return err
 		}
@@ -358,10 +359,12 @@ func (w *WAL) Append(payload []byte) error {
 
 	switch w.opts.Policy {
 	case SyncEachRecord:
+		//codalint:ignore lockhold the WAL mutex is the fsync serialization point: durable order must equal append order
 		return w.syncLocked()
 	case SyncInterval:
 		now := w.opts.Clock.Now()
 		if now.Sub(w.lastSync) >= w.opts.Interval {
+			//codalint:ignore lockhold the WAL mutex is the fsync serialization point: durable order must equal append order
 			if err := w.syncLocked(); err != nil {
 				return err
 			}
@@ -404,6 +407,7 @@ func (w *WAL) Sync() error {
 	if w.seg == nil {
 		return errors.New("wal: closed")
 	}
+	//codalint:ignore lockhold the WAL mutex is the fsync serialization point: Sync flushes under the same order as appends
 	return w.syncLocked()
 }
 
@@ -434,9 +438,11 @@ func (w *WAL) Reset() error {
 			return fmt.Errorf("wal: remove %s: %w", name, err)
 		}
 	}
+	//codalint:ignore lockhold truncation replaces the log; the lock must exclude appends until the new segment is durable
 	if err := w.opts.FS.SyncDir(w.opts.Dir); err != nil {
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
+	//codalint:ignore lockhold truncation replaces the log; the lock must exclude appends until the new segment is durable
 	return w.startSegment(1)
 }
 
@@ -447,6 +453,7 @@ func (w *WAL) Close() error {
 	if w.seg == nil {
 		return nil
 	}
+	//codalint:ignore lockhold final flush before close; the lock excludes appends while the log is torn down
 	syncErr := w.syncLocked()
 	closeErr := w.seg.Close()
 	w.seg = nil

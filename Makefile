@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint lint-ignores bench bench-json vet fmt clean crash
+.PHONY: all build test race lint lint-ignores bench bench-json bench-allocs bench-gate bench-baseline vet fmt clean crash
 
 all: build vet lint test
 
@@ -37,6 +37,24 @@ bench:
 # deterministic metrics-registry snapshot per run, as one JSON file.
 bench-json:
 	$(GO) run ./cmd/codabench -quick -json bench.json
+
+# Alloc-fenced benchmark sweep. -benchtime=200x fixes the iteration
+# count so AllocsPerOp (and B/op, where amortized growth is charged)
+# is reproducible run to run — a prerequisite for gating it strictly.
+bench-allocs:
+	$(GO) test -run='^$$' -bench=BenchmarkAlloc -benchmem -benchtime=200x ./... | tee bench_allocs.txt
+
+# Perf gate: diff the sweep and the figure series against the
+# committed bench_baseline.json. Fails on any AllocsPerOp growth and
+# on >threshold_pct regression of B/op or a gated series; writes the
+# full comparison table to bench_diff.txt for the CI artifact.
+bench-gate: bench-json bench-allocs
+	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -bench bench_allocs.txt -json bench.json -diff bench_diff.txt
+
+# Refresh the committed baseline after an intentional perf change.
+# Review the resulting bench_baseline.json diff like any other code.
+bench-baseline: bench-json bench-allocs
+	$(GO) run ./cmd/benchgate -baseline bench_baseline.json -bench bench_allocs.txt -json bench.json -update
 
 vet:
 	$(GO) vet ./...

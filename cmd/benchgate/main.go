@@ -1,0 +1,17 @@
+// Command benchgate diffs the current benchmark sweep against the
+// committed bench_baseline.json and fails CI when a gated number
+// regresses: AllocsPerOp strictly (the counts are deterministic at a
+// fixed iteration count), B/op and the codabench figure series with
+// threshold_pct of headroom. See internal/benchgate for the rules and
+// `make bench-gate` / `make bench-baseline` for the workflow.
+package main
+
+import (
+	"os"
+
+	"repro/internal/benchgate"
+)
+
+func main() {
+	os.Exit(benchgate.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -2,16 +2,20 @@
 // simclock (virtual-clock discipline), lockguard (mutex discipline),
 // errwrap (error-wrapping discipline), testhygiene (test-helper and
 // real-sleep checks), obsname (metric naming), and the interprocedural
-// trio — maporder (map-iteration-order determinism taint), lockhold
-// (mutexes held across blocking calls), and leakcheck (goroutine
-// lifecycle). See internal/lint for the analyzers and README.md for the
-// allowlist and suppression policy.
+// analyzers built on the shared effect engine — maporder
+// (map-iteration-order determinism taint), lockhold (mutexes held
+// across blocking calls), leakcheck (goroutine lifecycle), and
+// allocscan (//codalint:hotpath functions must not allocate, directly
+// or through any callee; pooled buffers exempt). See internal/lint for
+// the analyzers and README.md for the allowlist and suppression
+// policy.
 //
 // Flags: -json (machine-readable findings), -ignores (suppression
-// audit), -deadline DUR (wall-clock budget for CI).
+// audit — re-runs the suite and flags stale directives), -deadline DUR
+// (wall-clock budget for CI).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error, 3 deadline
-// exceeded.
+// exceeded, 4 stale or malformed suppressions found by -ignores.
 package main
 
 import (

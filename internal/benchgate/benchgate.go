@@ -1,0 +1,434 @@
+// Package benchgate is the enforcement half of the performance story:
+// it diffs the current benchmark sweep against a committed baseline
+// (bench_baseline.json) and fails when a gated number regresses.
+//
+// Two inputs feed the gate:
+//
+//   - the text output of `go test -bench BenchmarkAlloc -benchmem`
+//     (made by `make bench-allocs`), whose AllocsPerOp counts are
+//     deterministic at a fixed -benchtime iteration count — those are
+//     gated strictly: any growth fails, no threshold;
+//   - the codabench -json run (`make bench-json`), whose per-figure
+//     metric sums drift by scheduling noise in the network emulator —
+//     those, and B/op, get threshold_pct of headroom.
+//
+// The gate is one-directional: every gated series is a
+// higher-is-worse counter (retransmits, timeouts, bytes on the wire),
+// so only growth fails. Improvements are reported as notes, nudging a
+// baseline refresh (`make bench-baseline`) so the win is locked in.
+//
+// A new Benchmark with ReportAllocs data whose name starts with
+// "BenchmarkAlloc" must be pinned in the baseline — an unpinned one
+// fails the gate, which is what forces every new alloc-fenced
+// benchmark under enforcement rather than leaving it advisory.
+//
+// Findings are printed as `bench_baseline.json:line:1: [benchgate]
+// message`, anchored at the gated entry's line in the baseline file,
+// so the CI problem matcher can annotate the offending number itself.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exit codes, mirroring codalint's convention of distinct codes per
+// failure class.
+const (
+	ExitOK         = 0 // everything within budget
+	ExitRegression = 1 // a gated number regressed (or is missing/unpinned)
+	ExitUsage      = 2 // bad flags or unreadable input
+)
+
+// Entry pins one benchmark's memory numbers in the baseline.
+type Entry struct {
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// Baseline is the committed bench_baseline.json: the threshold plus
+// the gated benchmarks and figure series.
+type Baseline struct {
+	ThresholdPct float64            `json:"threshold_pct"`
+	Benchmarks   map[string]Entry   `json:"benchmarks"`
+	Series       map[string]float64 `json:"series"`
+}
+
+// Result is one parsed benchmark line from `go test -bench` output.
+type Result struct {
+	NsPerOp     float64
+	BytesPerOp  int64
+	AllocsPerOp int64
+	HasMem      bool // line carried B/op and allocs/op (ReportAllocs ran)
+}
+
+// Finding is one gate verdict: a regression that fails the build, or
+// an informational note for the diff report.
+type Finding struct {
+	Key     string // baseline key the finding anchors to
+	Message string
+	Fail    bool
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+	memSuffix = regexp.MustCompile(`(\d+) B/op\s+(\d+) allocs/op`)
+)
+
+// ParseBench reads `go test -bench` text output. Names keep their
+// sub-benchmark path but drop the trailing -GOMAXPROCS suffix. A name
+// appearing twice keeps the worse (higher-allocating) line, so a
+// duplicate across packages can only tighten the gate's view.
+func ParseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{}
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if mm := memSuffix.FindStringSubmatch(m[4]); mm != nil {
+			res.HasMem = true
+			res.BytesPerOp, _ = strconv.ParseInt(mm[1], 10, 64)
+			res.AllocsPerOp, _ = strconv.ParseInt(mm[2], 10, 64)
+		}
+		name := m[1]
+		if prev, ok := out[name]; !ok || res.AllocsPerOp > prev.AllocsPerOp ||
+			(res.AllocsPerOp == prev.AllocsPerOp && res.BytesPerOp > prev.BytesPerOp) {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// ParseSeries reads a codabench -json file and sums every numeric
+// metric across each run's registry snapshots, keyed
+// "<figure>/<metric>" — e.g. "12/venus_shipped_bytes_total".
+func ParseSeries(r io.Reader) (map[string]float64, error) {
+	var runs []struct {
+		Figure  string `json:"figure"`
+		Metrics []struct {
+			Dump struct {
+				Metrics []struct {
+					Name  string   `json:"name"`
+					Value *float64 `json:"value"`
+				} `json:"metrics"`
+			} `json:"dump"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(r).Decode(&runs); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, run := range runs {
+		for _, snap := range run.Metrics {
+			for _, met := range snap.Dump.Metrics {
+				if met.Value != nil {
+					out[run.Figure+"/"+met.Name] += *met.Value
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Compare applies the gate rules and returns findings in deterministic
+// (sorted-key) order: baseline benchmarks, unpinned new benchmarks,
+// then series.
+func Compare(b Baseline, benches map[string]Result, series map[string]float64) []Finding {
+	var out []Finding
+	headroom := 1 + b.ThresholdPct/100
+
+	for _, name := range sortedKeys(b.Benchmarks) {
+		base := b.Benchmarks[name]
+		cur, ok := benches[name]
+		if !ok {
+			out = append(out, Finding{name, fmt.Sprintf(
+				"%s: gated benchmark missing from bench output — deleted benchmarks must leave the baseline too", name), true})
+			continue
+		}
+		switch {
+		case cur.AllocsPerOp > base.AllocsPerOp:
+			out = append(out, Finding{name, fmt.Sprintf(
+				"%s: allocs/op regressed %d -> %d (allocs gate is strict: any growth fails)",
+				name, base.AllocsPerOp, cur.AllocsPerOp), true})
+		case float64(cur.BytesPerOp) > float64(base.BytesPerOp)*headroom:
+			out = append(out, Finding{name, fmt.Sprintf(
+				"%s: B/op regressed %d -> %d (%s, threshold %.0f%%)",
+				name, base.BytesPerOp, cur.BytesPerOp,
+				pctChange(float64(base.BytesPerOp), float64(cur.BytesPerOp)), b.ThresholdPct), true})
+		case cur.AllocsPerOp < base.AllocsPerOp || cur.BytesPerOp < base.BytesPerOp:
+			out = append(out, Finding{name, fmt.Sprintf(
+				"%s: improved (allocs/op %d -> %d, B/op %d -> %d); run `make bench-baseline` to lock it in",
+				name, base.AllocsPerOp, cur.AllocsPerOp, base.BytesPerOp, cur.BytesPerOp), false})
+		}
+	}
+
+	for _, name := range sortedKeys(benches) {
+		if _, pinned := b.Benchmarks[name]; !pinned &&
+			benches[name].HasMem && strings.HasPrefix(name, "BenchmarkAlloc") {
+			out = append(out, Finding{name, fmt.Sprintf(
+				"%s: new ReportAllocs benchmark is not pinned in the baseline; run `make bench-baseline` and commit the result",
+				name), true})
+		}
+	}
+
+	for _, key := range sortedKeys(b.Series) {
+		base := b.Series[key]
+		cur, ok := series[key]
+		if !ok {
+			out = append(out, Finding{key, fmt.Sprintf(
+				"series %s: gated series missing from codabench output", key), true})
+			continue
+		}
+		if cur > base*headroom {
+			out = append(out, Finding{key, fmt.Sprintf(
+				"series %s: regressed %s -> %s (%s, threshold %.0f%%)",
+				key, trimFloat(base), trimFloat(cur),
+				pctChange(base, cur), b.ThresholdPct), true})
+		}
+	}
+	return out
+}
+
+// Update returns the baseline rewritten from the current run: every
+// existing benchmark entry and series value is refreshed, and any
+// unpinned BenchmarkAlloc* benchmark with ReportAllocs data is added.
+// Series keys are never added automatically — gating a new series is
+// an editorial decision, made by hand-adding its key (any value) and
+// re-running -update to fill it in.
+func Update(b Baseline, benches map[string]Result, series map[string]float64) Baseline {
+	next := Baseline{
+		ThresholdPct: b.ThresholdPct,
+		Benchmarks:   make(map[string]Entry),
+		Series:       make(map[string]float64),
+	}
+	if next.ThresholdPct == 0 {
+		next.ThresholdPct = 10
+	}
+	for name := range b.Benchmarks {
+		if cur, ok := benches[name]; ok {
+			next.Benchmarks[name] = Entry{cur.AllocsPerOp, cur.BytesPerOp}
+		}
+	}
+	for name, cur := range benches {
+		if _, pinned := next.Benchmarks[name]; !pinned && cur.HasMem && strings.HasPrefix(name, "BenchmarkAlloc") {
+			next.Benchmarks[name] = Entry{cur.AllocsPerOp, cur.BytesPerOp}
+		}
+	}
+	for key := range b.Series {
+		if cur, ok := series[key]; ok {
+			next.Series[key] = cur
+		}
+	}
+	return next
+}
+
+// Main is the benchgate entry point, factored out of cmd/benchgate so
+// tests drive it directly. Annotations go to stdout (problem-matcher
+// format), the summary to stderr.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "bench_baseline.json", "committed baseline to gate against")
+	benchPath := fs.String("bench", "", "`go test -bench` text output to gate (required)")
+	jsonPath := fs.String("json", "", "codabench -json output (required when the baseline gates series)")
+	update := fs.Bool("update", false, "rewrite the baseline from the current run instead of gating")
+	diffPath := fs.String("diff", "", "also write the full comparison table to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchgate -bench bench_allocs.txt [-json bench.json] [-baseline bench_baseline.json] [-update] [-diff out.txt]\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "exit codes: %d clean, %d regression, %d usage error\n", ExitOK, ExitRegression, ExitUsage)
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitUsage
+	}
+	if *benchPath == "" {
+		fs.Usage()
+		return ExitUsage
+	}
+
+	benches, err := parseBenchFile(*benchPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return ExitUsage
+	}
+
+	base, raw, err := loadBaseline(*baselinePath, *update)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return ExitUsage
+	}
+
+	var series map[string]float64
+	if *jsonPath != "" {
+		if series, err = parseSeriesFile(*jsonPath); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return ExitUsage
+		}
+	} else if len(base.Series) > 0 {
+		fmt.Fprintf(stderr, "benchgate: baseline gates %d series but no -json input was given\n", len(base.Series))
+		return ExitUsage
+	}
+
+	if *update {
+		next := Update(base, benches, series)
+		out, err := json.MarshalIndent(next, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return ExitUsage
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return ExitUsage
+		}
+		fmt.Fprintf(stderr, "benchgate: baseline refreshed: %d benchmark(s), %d series -> %s\n",
+			len(next.Benchmarks), len(next.Series), *baselinePath)
+		return ExitOK
+	}
+
+	findings := Compare(base, benches, series)
+	fails := 0
+	for _, f := range findings {
+		if f.Fail {
+			fails++
+			fmt.Fprintf(stdout, "%s:%d:1: [benchgate] %s\n", *baselinePath, lineOf(raw, f.Key), f.Message)
+		} else {
+			fmt.Fprintf(stdout, "note: %s\n", f.Message)
+		}
+	}
+	if *diffPath != "" {
+		if err := os.WriteFile(*diffPath, diffReport(base, benches, series, findings), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return ExitUsage
+		}
+	}
+	fmt.Fprintf(stderr, "benchgate: %d benchmark(s), %d series gated; %d regression(s)\n",
+		len(base.Benchmarks), len(base.Series), fails)
+	if fails > 0 {
+		return ExitRegression
+	}
+	return ExitOK
+}
+
+func parseBenchFile(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseBench(f)
+}
+
+func parseSeriesFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseSeries(f)
+}
+
+// loadBaseline reads and decodes the baseline; with update set, a
+// missing file yields an empty baseline to be filled in.
+func loadBaseline(path string, update bool) (Baseline, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if update && os.IsNotExist(err) {
+			return Baseline{}, nil, nil
+		}
+		return Baseline{}, nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return Baseline{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, raw, nil
+}
+
+// lineOf finds the 1-based line of a gated key inside the raw baseline
+// bytes so annotations point at the number being defended; keys not in
+// the file (e.g. unpinned new benchmarks) anchor at line 1.
+func lineOf(raw []byte, key string) int {
+	needle := `"` + key + `"`
+	for i, line := range strings.Split(string(raw), "\n") {
+		if strings.Contains(line, needle) {
+			return i + 1
+		}
+	}
+	return 1
+}
+
+// diffReport renders the full comparison table — every gated entry,
+// its baseline and current value, and the verdict — for the CI
+// artifact. ns/op appears informationally; it is never gated.
+func diffReport(b Baseline, benches map[string]Result, series map[string]float64, findings []Finding) []byte {
+	verdicts := make(map[string]string)
+	for _, f := range findings {
+		if f.Fail {
+			verdicts[f.Key] = "FAIL"
+		} else if _, ok := verdicts[f.Key]; !ok {
+			verdicts[f.Key] = "note"
+		}
+	}
+	verdict := func(key string) string {
+		if v, ok := verdicts[key]; ok {
+			return v
+		}
+		return "ok"
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchgate diff (threshold %.0f%% on B/op and series; allocs/op strict)\n\n", b.ThresholdPct)
+	fmt.Fprintf(&sb, "%-34s %14s %14s %10s  %s\n", "benchmark", "base allocs/B", "cur allocs/B", "ns/op", "verdict")
+	for _, name := range sortedKeys(b.Benchmarks) {
+		base := b.Benchmarks[name]
+		cur, ok := benches[name]
+		curCol, ns := "missing", "-"
+		if ok {
+			curCol = fmt.Sprintf("%d/%d", cur.AllocsPerOp, cur.BytesPerOp)
+			ns = strconv.FormatFloat(cur.NsPerOp, 'f', 1, 64)
+		}
+		fmt.Fprintf(&sb, "%-34s %14s %14s %10s  %s\n", name,
+			fmt.Sprintf("%d/%d", base.AllocsPerOp, base.BytesPerOp), curCol, ns, verdict(name))
+	}
+	fmt.Fprintf(&sb, "\n%-44s %16s %16s  %s\n", "series", "base", "current", "verdict")
+	for _, key := range sortedKeys(b.Series) {
+		curCol := "missing"
+		if cur, ok := series[key]; ok {
+			curCol = trimFloat(cur)
+		}
+		fmt.Fprintf(&sb, "%-44s %16s %16s  %s\n", key, trimFloat(b.Series[key]), curCol, verdict(key))
+	}
+	return []byte(sb.String())
+}
+
+func pctChange(base, cur float64) string {
+	if base == 0 {
+		return "from zero"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-base)/base*100)
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

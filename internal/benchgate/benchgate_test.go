@@ -1,0 +1,274 @@
+package benchgate
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro/internal/rpc2
+BenchmarkAllocSendPacket-8   	     200	       412.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAllocSendSFTP-8     	     200	       395.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/rpc2	0.012s
+pkg: repro/internal/wal
+BenchmarkWALAppend/each-8    	     200	     10212 ns/op	  25.07 MB/s
+BenchmarkAllocWALAppend-8    	     200	       899.1 ns/op	    1345 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/wal	0.031s
+`
+
+// benchJSON mimics the codabench -json shape: runs with figure labels
+// and registry snapshots whose dumps carry named metric values.
+const benchJSON = `[
+  {"figure": "9", "metrics": [
+    {"label": "a", "dump": {"metrics": [{"name": "rpc2_retransmits_total", "value": 70}]}},
+    {"label": "b", "dump": {"metrics": [{"name": "rpc2_retransmits_total", "value": 46}]}}
+  ]},
+  {"figure": "12", "metrics": [
+    {"label": "a", "dump": {"metrics": [{"name": "venus_shipped_bytes_total", "value": 4208152}]}}
+  ]}
+]`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	wal := got["BenchmarkAllocWALAppend"]
+	if !wal.HasMem || wal.BytesPerOp != 1345 || wal.AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkAllocWALAppend parsed wrong: %+v", wal)
+	}
+	if sub := got["BenchmarkWALAppend/each"]; sub.HasMem {
+		t.Fatalf("non-ReportAllocs sub-benchmark should have HasMem=false: %+v", sub)
+	}
+}
+
+func TestParseSeriesSumsAcrossSnapshots(t *testing.T) {
+	got, err := ParseSeries(strings.NewReader(benchJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["9/rpc2_retransmits_total"] != 116 {
+		t.Fatalf("9/rpc2_retransmits_total = %v, want 116 (sum of snapshots)", got["9/rpc2_retransmits_total"])
+	}
+	if got["12/venus_shipped_bytes_total"] != 4208152 {
+		t.Fatalf("12/venus_shipped_bytes_total = %v", got["12/venus_shipped_bytes_total"])
+	}
+}
+
+func baseline() Baseline {
+	return Baseline{
+		ThresholdPct: 10,
+		Benchmarks: map[string]Entry{
+			"BenchmarkAllocSendPacket": {AllocsPerOp: 0, BytesPerOp: 0},
+			"BenchmarkAllocWALAppend":  {AllocsPerOp: 0, BytesPerOp: 1345},
+		},
+		Series: map[string]float64{
+			"9/rpc2_retransmits_total": 116,
+		},
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	benches, _ := ParseBench(strings.NewReader(benchText))
+	series, _ := ParseSeries(strings.NewReader(benchJSON))
+	// SendSFTP is unpinned in this baseline, so it must fail the gate;
+	// drop it to model a fully pinned run.
+	delete(benches, "BenchmarkAllocSendSFTP")
+	for _, f := range Compare(baseline(), benches, series) {
+		if f.Fail {
+			t.Fatalf("clean run produced failure: %s", f.Message)
+		}
+	}
+}
+
+func TestCompareAllocGrowthIsStrict(t *testing.T) {
+	benches := map[string]Result{
+		"BenchmarkAllocSendPacket": {HasMem: true, AllocsPerOp: 1},
+		"BenchmarkAllocWALAppend":  {HasMem: true, BytesPerOp: 1345},
+	}
+	series := map[string]float64{"9/rpc2_retransmits_total": 116}
+	findings := Compare(baseline(), benches, series)
+	if len(findings) != 1 || !findings[0].Fail ||
+		!strings.Contains(findings[0].Message, "allocs/op regressed 0 -> 1") {
+		t.Fatalf("want one strict allocs failure, got %+v", findings)
+	}
+}
+
+func TestCompareBytesAndSeriesGetHeadroom(t *testing.T) {
+	benches := map[string]Result{
+		"BenchmarkAllocSendPacket": {HasMem: true},
+		"BenchmarkAllocWALAppend":  {HasMem: true, BytesPerOp: 1400}, // +4.1%: inside 10%
+	}
+	series := map[string]float64{"9/rpc2_retransmits_total": 127} // +9.5%: inside 10%
+	for _, f := range Compare(baseline(), benches, series) {
+		if f.Fail {
+			t.Fatalf("within-threshold drift failed the gate: %s", f.Message)
+		}
+	}
+
+	benches["BenchmarkAllocWALAppend"] = Result{HasMem: true, BytesPerOp: 1600} // +19%
+	series["9/rpc2_retransmits_total"] = 140                                    // +20.7%
+	findings := Compare(baseline(), benches, series)
+	fails := 0
+	for _, f := range findings {
+		if f.Fail {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("want 2 over-threshold failures, got %+v", findings)
+	}
+}
+
+func TestCompareMissingAndUnpinnedFail(t *testing.T) {
+	benches := map[string]Result{
+		// BenchmarkAllocSendPacket deliberately absent.
+		"BenchmarkAllocWALAppend": {HasMem: true, BytesPerOp: 1345},
+		"BenchmarkAllocBrandNew":  {HasMem: true, AllocsPerOp: 3},
+		"BenchmarkColdPath":       {HasMem: true, AllocsPerOp: 99}, // not Alloc-prefixed: advisory only
+	}
+	series := map[string]float64{} // gated series missing too
+	var missing, unpinned, seriesMissing bool
+	for _, f := range Compare(baseline(), benches, series) {
+		switch {
+		case strings.Contains(f.Message, "gated benchmark missing"):
+			missing = f.Fail
+		case strings.Contains(f.Message, "not pinned in the baseline"):
+			unpinned = f.Fail && strings.Contains(f.Message, "BenchmarkAllocBrandNew")
+		case strings.Contains(f.Message, "gated series missing"):
+			seriesMissing = f.Fail
+		case strings.Contains(f.Message, "BenchmarkColdPath"):
+			t.Fatalf("non-Alloc benchmark should not be gated: %s", f.Message)
+		}
+	}
+	if !missing || !unpinned || !seriesMissing {
+		t.Fatalf("missing=%v unpinned=%v seriesMissing=%v — all should fail", missing, unpinned, seriesMissing)
+	}
+}
+
+func TestMainGateAndUpdateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench_allocs.txt")
+	jsonPath := filepath.Join(dir, "bench.json")
+	basePath := filepath.Join(dir, "bench_baseline.json")
+	diffPath := filepath.Join(dir, "bench_diff.txt")
+	if err := os.WriteFile(benchPath, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, []byte(benchJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// No baseline yet: -update creates one pinning every BenchmarkAlloc*.
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-baseline", basePath, "-bench", benchPath, "-json", jsonPath, "-update"},
+		&stdout, &stderr); code != ExitOK {
+		t.Fatalf("update exit %d, stderr: %s", code, stderr.String())
+	}
+	var b Baseline
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.ThresholdPct != 10 || len(b.Benchmarks) != 3 {
+		t.Fatalf("fresh baseline wrong: %+v", b)
+	}
+
+	// Gating against the just-written baseline is clean.
+	stdout.Reset()
+	stderr.Reset()
+	if code := Main([]string{"-baseline", basePath, "-bench", benchPath, "-json", jsonPath, "-diff", diffPath},
+		&stdout, &stderr); code != ExitOK {
+		t.Fatalf("clean gate exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	diff, err := os.ReadFile(diffPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(diff), "BenchmarkAllocWALAppend") {
+		t.Fatalf("diff report missing gated benchmark:\n%s", diff)
+	}
+
+	// Hand-add a gated series, refresh, and check -update filled it.
+	b.Series = map[string]float64{"9/rpc2_retransmits_total": 0}
+	raw, _ = json.MarshalIndent(b, "", "  ")
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := Main([]string{"-baseline", basePath, "-bench", benchPath, "-json", jsonPath, "-update"},
+		&stdout, &stderr); code != ExitOK {
+		t.Fatalf("update exit %d", code)
+	}
+	raw, _ = os.ReadFile(basePath)
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Series["9/rpc2_retransmits_total"] != 116 {
+		t.Fatalf("update did not refresh hand-added series: %+v", b.Series)
+	}
+
+	// Regress one benchmark and check the annotation anchors at the
+	// baseline entry's own line, in problem-matcher format.
+	regressed := strings.Replace(benchText,
+		"BenchmarkAllocSendPacket-8   \t     200\t       412.3 ns/op\t       0 B/op\t       0 allocs/op",
+		"BenchmarkAllocSendPacket-8   \t     200\t       512.3 ns/op\t      48 B/op\t       2 allocs/op", 1)
+	if regressed == benchText {
+		t.Fatal("test bug: replacement did not apply")
+	}
+	if err := os.WriteFile(benchPath, []byte(regressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := Main([]string{"-baseline", basePath, "-bench", benchPath, "-json", jsonPath},
+		&stdout, &stderr); code != ExitRegression {
+		t.Fatalf("regressed gate exit %d, want %d", code, ExitRegression)
+	}
+	wantLine := lineOf(raw, "BenchmarkAllocSendPacket")
+	if wantLine == 1 {
+		t.Fatal("test bug: key not found in baseline file")
+	}
+	ann := stdout.String()
+	if !strings.Contains(ann, basePath+":"+strconv.Itoa(wantLine)+":1: [benchgate] BenchmarkAllocSendPacket: allocs/op regressed 0 -> 2") {
+		t.Fatalf("annotation missing or mis-anchored (want line %d):\n%s", wantLine, ann)
+	}
+}
+
+func TestMainUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := Main(nil, &out, &out); code != ExitUsage {
+		t.Fatalf("missing -bench: exit %d, want %d", code, ExitUsage)
+	}
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "b.txt")
+	basePath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(benchPath, []byte(benchText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(baseline())
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline gates series but no -json given.
+	if code := Main([]string{"-baseline", basePath, "-bench", benchPath}, &out, &out); code != ExitUsage {
+		t.Fatalf("series without -json: exit %d, want %d", code, ExitUsage)
+	}
+	// Missing baseline without -update.
+	if code := Main([]string{"-baseline", filepath.Join(dir, "nope.json"), "-bench", benchPath}, &out, &out); code != ExitUsage {
+		t.Fatalf("missing baseline: exit %d, want %d", code, ExitUsage)
+	}
+}

@@ -191,6 +191,47 @@ func Stamp() time.Time {
 	}
 }
 
+func TestMainIgnoresAuditStale(t *testing.T) {
+	// One directive still suppresses a real finding; the other sits on a
+	// line that stopped triggering anything. The audit must keep the
+	// first, flag the second as STALE, and fail with the dedicated exit
+	// code.
+	root := writeFixture(t, map[string]string{
+		"go.mod": "module faux\n\ngo 1.22\n",
+		"internal/ok/ok.go": `package ok
+
+import "time"
+
+func Stamp() time.Time {
+	//codalint:ignore simclock boot banner timestamp is cosmetic
+	return time.Now()
+}
+
+func Add(a, b int) int {
+	//codalint:ignore simclock leftover from a removed wall-clock read
+	return a + b
+}
+`,
+	})
+	chdir(t, root)
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-ignores", "./..."}, &out, &errb); code != ExitStale {
+		t.Fatalf("stale suppression: exit %d, want %d\nstdout: %s", code, ExitStale, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "boot banner timestamp is cosmetic") ||
+		!strings.Contains(s, "STALE") ||
+		!strings.Contains(s, "2 suppression(s), 1 stale, 0 malformed") {
+		t.Fatalf("-ignores stale audit output wrong:\n%s", s)
+	}
+	if strings.Contains(s, "boot banner timestamp is cosmetic  STALE") {
+		t.Fatalf("used suppression wrongly marked stale:\n%s", s)
+	}
+	if !strings.Contains(errb.String(), "suppression audit failed") {
+		t.Fatalf("stale audit must report failure on stderr, got: %s", errb.String())
+	}
+}
+
 func TestMainDeadline(t *testing.T) {
 	root := writeFixture(t, map[string]string{
 		"go.mod":     "module faux\n\ngo 1.22\n",

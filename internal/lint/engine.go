@@ -48,6 +48,19 @@ type FuncNode struct {
 	Serializes bool
 	SerialVia  string
 
+	// Allocates: the function transitively allocates heap memory on its
+	// steady-state path (see alloc.go for what counts and what is
+	// exempt). Queried by allocscan from //codalint:hotpath roots.
+	Allocates bool
+	AllocVia  string
+
+	// allocSites: this function's own direct allocation sites, in
+	// source order; the seed for the Allocates bit.
+	allocSites []allocSite
+	// poolNew: the function is a sync.Pool New constructor — its
+	// allocations are the pool's amortized backing store.
+	poolNew bool
+
 	// Endless: the function transitively enters a condition-less for
 	// loop with no reachable exit (no return, no break that targets the
 	// loop), so it can never be stopped once started.
@@ -89,8 +102,12 @@ func NewEngine(pkgs []*Package) *Engine {
 	for _, pkg := range pkgs {
 		e.collect(pkg)
 	}
+	for _, pkg := range pkgs {
+		e.markPoolConstructors(pkg)
+	}
 	for _, n := range e.nodes {
 		e.scanDirect(n)
+		e.scanAllocs(n)
 	}
 	e.fixpoint()
 	return e
@@ -526,8 +543,8 @@ func dedupeNodes(in []*FuncNode) []*FuncNode {
 	return out
 }
 
-// fixpoint propagates Blocks, Serializes, and Endless through the call
-// graph until nothing changes. All three facts are monotone bits, so
+// fixpoint propagates Blocks, Serializes, Allocates, and Endless
+// through the call graph until nothing changes. The facts are monotone bits, so
 // iteration converges; passes are over a deterministically sorted node
 // list so via-chains are reproducible run to run.
 func (e *Engine) fixpoint() {
@@ -546,6 +563,10 @@ func (e *Engine) fixpoint() {
 				}
 				if c.Serializes && !n.Serializes {
 					n.Serializes, n.SerialVia = true, c.Name+": "+c.SerialVia
+					changed = true
+				}
+				if c.Allocates && !n.Allocates && !n.poolNew {
+					n.Allocates, n.AllocVia = true, c.Name+": "+c.AllocVia
 					changed = true
 				}
 				if c.Endless && !n.Endless {

@@ -106,6 +106,79 @@ func (s *Server) Probe() {
 	}
 }
 
+func TestAllocscanCrossPackage(t *testing.T) {
+	// The allocation is two hops and one package boundary away from the
+	// hotpath root: hot Ship -> frame.Build -> frame.grow. The finding
+	// must land at the root's call site with the via-chain, and the
+	// pooled path through the same package must stay clean.
+	mod := loadFauxModule(t, map[string]string{
+		"internal/frame/frame.go": `package frame
+
+func grow(n int) []byte {
+	return make([]byte, n)
+}
+
+// Build allocates transitively through grow.
+func Build(n int) []byte {
+	return grow(n)
+}
+
+// Emit consumes a framed buffer without retaining it.
+func Emit(b []byte) {}
+`,
+		"internal/bufpool/bufpool.go": `package bufpool
+
+import "sync"
+
+var pool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+// Get hands out pooled memory: a recognized sink, not a source.
+func Get(n int) *[]byte {
+	return pool.Get().(*[]byte)
+}
+
+func Put(bp *[]byte) {
+	*bp = (*bp)[:0]
+	pool.Put(bp)
+}
+`,
+		"internal/hot/hot.go": `package hot
+
+import (
+	"faux/internal/bufpool"
+	"faux/internal/frame"
+)
+
+//codalint:hotpath wire framing
+func Ship(n int) []byte {
+	return frame.Build(n)
+}
+
+//codalint:hotpath wire framing, pooled
+func ShipPooled(body []byte) {
+	bp := bufpool.Get(len(body))
+	*bp = append(*bp, body...)
+	frame.Emit(*bp)
+	bufpool.Put(bp)
+}
+`,
+	})
+	got := Run(mod.Packages, []Analyzer{NewAllocscan()})
+	if len(got) != 1 {
+		t.Fatalf("cross-package allocscan: %d findings, want 1:\n%v", len(got), got)
+	}
+	f := got[0]
+	if !strings.Contains(f.Pos.Filename, "hot.go") ||
+		!strings.Contains(f.Message, "hotpath Ship") ||
+		!strings.Contains(f.Message, "Build") ||
+		!strings.Contains(f.Message, "grow") {
+		t.Fatalf("cross-package allocscan finding: %v", f)
+	}
+}
+
 func TestLeakcheckCrossPackage(t *testing.T) {
 	mod := loadFauxModule(t, map[string]string{
 		"internal/daemon/daemon.go": `package daemon

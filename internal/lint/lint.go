@@ -41,6 +41,7 @@ func Analyzers() []Analyzer {
 		NewMaporder(),
 		NewLockhold(),
 		NewLeakcheck(),
+		NewAllocscan(),
 	}
 }
 
@@ -113,6 +114,14 @@ func collectSuppressions(pkg *Package) ([]*suppression, []Finding) {
 // summaries resolve across package boundaries whenever the packages are
 // loaded together (LoadModule loads the whole module).
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	findings, _, _ := run(pkgs, analyzers)
+	return findings
+}
+
+// run is Run plus the audit trail: every suppression with its used flag
+// resolved after analysis, and the malformed directives, so the
+// -ignores audit can flag stale entries without re-deriving anything.
+func run(pkgs []*Package, analyzers []Analyzer) (findings []Finding, allSups []*suppression, malformed []Finding) {
 	var eng *Engine
 	for _, a := range analyzers {
 		if ia, ok := a.(interprocAnalyzer); ok {
@@ -126,6 +135,8 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 	for _, pkg := range pkgs {
 		sups, bad := collectSuppressions(pkg)
 		out = append(out, bad...)
+		malformed = append(malformed, bad...)
+		allSups = append(allSups, sups...)
 		for _, a := range analyzers {
 			for _, f := range a.Analyze(pkg) {
 				if suppressed(sups, a.Name(), f) {
@@ -157,7 +168,7 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, allSups, malformed
 }
 
 // suppressed reports whether f is covered by a directive on its own

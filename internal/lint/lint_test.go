@@ -132,6 +132,10 @@ func TestLeakcheckFixture(t *testing.T) {
 	runFixture(t, "leakcheck", "internal/fixture", []Analyzer{NewLeakcheck()})
 }
 
+func TestAllocscanFixture(t *testing.T) {
+	runFixture(t, "allocscan", "internal/fixture", []Analyzer{NewAllocscan()})
+}
+
 // writeFixture materializes a file tree under a fresh temp dir.
 func writeFixture(t *testing.T, files map[string]string) string {
 	t.Helper()

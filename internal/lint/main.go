@@ -16,6 +16,7 @@ const (
 	ExitFindings = 1 // at least one finding
 	ExitUsage    = 2 // bad invocation or load failure
 	ExitDeadline = 3 // analysis exceeded the -deadline wall-clock budget
+	ExitStale    = 4 // -ignores audit found stale or malformed suppressions
 )
 
 // cliOptions holds the parsed command-line flags.
@@ -142,7 +143,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if opts.ignores {
-		return listIgnores(pkgs, stdout)
+		return listIgnores(pkgs, Analyzers(), stdout, stderr)
 	}
 
 	findings := Run(pkgs, Analyzers())
@@ -190,24 +191,34 @@ func Main(args []string, stdout, stderr io.Writer) int {
 // listIgnores prints every //codalint:ignore directive in pkgs — the
 // suppression audit. Each line is `file:line: [analyzer] reason`, so the
 // complete debt of intentional exceptions is reviewable in one listing.
-func listIgnores(pkgs []*Package, stdout io.Writer) int {
+// The audit runs the full analyzer suite first so it knows which
+// directives still suppress something: a directive that matches no
+// finding is STALE (dead weight that would silently swallow the next
+// real finding on that line) and fails the audit with ExitStale, as
+// does a malformed directive.
+func listIgnores(pkgs []*Package, analyzers []Analyzer, stdout, stderr io.Writer) int {
+	_, sups, malformed := run(pkgs, analyzers)
+
 	type entry struct {
 		file     string
 		line     int
 		analyzer string
 		reason   string
+		stale    bool
 	}
 	var all []entry
-	for _, pkg := range pkgs {
-		sups, bad := collectSuppressions(pkg)
-		for _, s := range sups {
-			all = append(all, entry{s.file, s.line, s.analyzer, s.reason})
+	stale := 0
+	for _, s := range sups {
+		e := entry{s.file, s.line, s.analyzer, s.reason, !s.used}
+		if e.stale {
+			stale++
 		}
-		// A malformed directive is still a suppression attempt; surface
-		// it in the audit rather than hiding it.
-		for _, f := range bad {
-			all = append(all, entry{f.Pos.Filename, f.Pos.Line, "directive", "MALFORMED: missing analyzer or reason"})
-		}
+		all = append(all, e)
+	}
+	// A malformed directive is still a suppression attempt; surface it
+	// in the audit rather than hiding it.
+	for _, f := range malformed {
+		all = append(all, entry{f.Pos.Filename, f.Pos.Line, "directive", "MALFORMED: missing analyzer or reason", false})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].file != all[j].file {
@@ -216,9 +227,17 @@ func listIgnores(pkgs []*Package, stdout io.Writer) int {
 		return all[i].line < all[j].line
 	})
 	for _, e := range all {
-		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", e.file, e.line, e.analyzer, e.reason)
+		mark := ""
+		if e.stale {
+			mark = "  STALE: suppresses nothing — remove the directive or restore the reason it existed"
+		}
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s%s\n", e.file, e.line, e.analyzer, e.reason, mark)
 	}
-	fmt.Fprintf(stdout, "%d suppression(s)\n", len(all))
+	fmt.Fprintf(stdout, "%d suppression(s), %d stale, %d malformed\n", len(all), stale, len(malformed))
+	if stale > 0 || len(malformed) > 0 {
+		fmt.Fprintf(stderr, "codalint: suppression audit failed: %d stale, %d malformed\n", stale, len(malformed))
+		return ExitStale
+	}
 	return ExitClean
 }
 
@@ -228,7 +247,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "")
 	fmt.Fprintln(w, "flags:")
 	fmt.Fprintln(w, "  -json          emit findings as a JSON array ({file,line,col,analyzer,message})")
-	fmt.Fprintln(w, "  -ignores       list every //codalint:ignore suppression (file:line, analyzer, reason) and exit 0")
+	fmt.Fprintln(w, "  -ignores       audit //codalint:ignore suppressions: list all, fail (exit 4) on stale or malformed ones")
 	fmt.Fprintln(w, "  -deadline DUR  fail with exit 3 if analysis wall-clock exceeds DUR (e.g. 60s)")
 	fmt.Fprintln(w, "")
 	fmt.Fprintln(w, "analyzers:")
@@ -238,5 +257,5 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "")
 	fmt.Fprintf(w, "suppress with: %s <analyzer> <reason>\n", IgnoreDirective)
 	fmt.Fprintln(w, "")
-	fmt.Fprintln(w, "exit status: 0 clean, 1 findings, 2 usage or load error, 3 deadline exceeded")
+	fmt.Fprintln(w, "exit status: 0 clean, 1 findings, 2 usage or load error, 3 deadline exceeded, 4 stale suppressions")
 }

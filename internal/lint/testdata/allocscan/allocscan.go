@@ -1,0 +1,131 @@
+package fix
+
+import (
+	"errors"
+	"sync"
+)
+
+type header struct{ seq int }
+
+// Direct allocations inside a marked root are reported at their own
+// positions.
+//
+//codalint:hotpath
+func frameDirect(body []byte) []byte {
+	buf := make([]byte, 18+len(body)) // want "make"
+	copy(buf, body)
+	return buf
+}
+
+//codalint:hotpath
+func frameLit(n int) *header {
+	return &header{seq: n} // want "composite literal"
+}
+
+//codalint:hotpath
+func label(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//codalint:hotpath
+func toBytes(s string) []byte {
+	return []byte(s) // want "conversion copies"
+}
+
+//codalint:hotpath
+func capture(n int) func() int {
+	return func() int { return n } // want "closure capturing 1 variable"
+}
+
+//codalint:hotpath
+func hotGrow(vals []int) []int {
+	var out []int
+	out = append(out, vals...) // want "append growth"
+	return out
+}
+
+// A call to a non-marked callee whose summary allocates is reported at
+// the call site, with the callee's via-chain.
+func buildFrame(n int) []byte {
+	return make([]byte, n)
+}
+
+//codalint:hotpath
+func hotCaller(n int) []byte {
+	return buildFrame(n) // want "calls buildFrame, which allocates"
+}
+
+// Boxing a non-pointer-shaped value into an interface parameter
+// allocates at the call boundary.
+type sink interface{ consume(v any) }
+
+//codalint:hotpath
+func hotBox(s sink, n int) {
+	s.consume(n) // want "boxing int"
+}
+
+// Negative cases: pooled buffers, caller-owned append targets, and
+// error construction are all clean.
+var pool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+//codalint:hotpath
+func framePooled(body []byte) {
+	bp := pool.Get().(*[]byte)
+	*bp = append(*bp, body...)
+	ship(*bp)
+	*bp = (*bp)[:0]
+	pool.Put(bp)
+}
+
+func ship([]byte) {}
+
+//codalint:hotpath
+func appendInto(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+//codalint:hotpath
+func hotErr(ok bool) error {
+	if !ok {
+		return errors.New("bad frame")
+	}
+	return nil
+}
+
+// A suppression with a reason silences a finding and counts as used.
+//
+//codalint:hotpath
+func hotSuppressed(n int) []byte {
+	//codalint:ignore allocscan startup-only growth, amortized over the run
+	return make([]byte, n)
+}
+
+// Cold code allocates freely: no directive, no findings.
+func coldAlloc() []string {
+	out := []string{"a"}
+	out = append(out, "b")
+	return out
+}
+
+// A directive that attaches to nothing is itself a finding.
+//
+//codalint:hotpath // want "attaches to no function declaration"
+var frameMagic = 0x5f
+
+var _ = frameDirect
+var _ = frameLit
+var _ = label
+var _ = toBytes
+var _ = capture
+var _ = hotGrow
+var _ = hotCaller
+var _ = hotBox
+var _ = framePooled
+var _ = appendInto
+var _ = hotErr
+var _ = hotSuppressed
+var _ = coldAlloc
+var _ = frameMagic

@@ -28,7 +28,10 @@ import (
 type PacketConn interface {
 	// Send transmits payload toward dst. Delivery is not guaranteed.
 	// Send never blocks for transmission; it returns an error only for
-	// local problems (closed endpoint, oversized packet).
+	// local problems (closed endpoint, oversized packet). Send must not
+	// retain payload after it returns — callers recycle the buffer
+	// (internal/bufpool), so an implementation that needs the bytes
+	// later must copy them, as the emulator does.
 	Send(dst string, payload []byte) error
 	// Recv blocks until a packet arrives. ok is false once closed.
 	Recv() (payload []byte, src string, ok bool)

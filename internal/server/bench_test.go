@@ -1,0 +1,50 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/crashfs"
+	"repro/internal/wal"
+)
+
+// BenchmarkAllocJournalBatch measures the gob framing of one applied
+// mutation batch into the volume WAL. Gob walks and boxes the batch on
+// every encode — that floor is inherent to the format — but the buffer
+// underneath is the volume's reusable scratch, so AllocsPerOp must stay
+// flat as batches flow; benchgate fails the build if it grows past
+// bench_baseline.json.
+func BenchmarkAllocJournalBatch(b *testing.B) {
+	fs := crashfs.NewMem()
+	w, _, err := wal.Open(wal.Options{FS: fs, Dir: "j", Policy: wal.SyncNone, SegmentBytes: 1 << 30}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	v := newVolume(1, "bench", time.Unix(0, 0))
+	v.wal = w
+
+	recs := []cml.Record{{
+		Kind:   cml.Store,
+		FID:    codafs.FID{Volume: 1, Vnode: 2},
+		Parent: codafs.FID{Volume: 1, Vnode: 1},
+		Name:   "file",
+		Owner:  "bench-client",
+		Data:   make([]byte, 256),
+		Length: 256,
+	}}
+	// Warm gob's global type registry so the first-encode setup cost is
+	// not charged to the steady state.
+	if err := journalBatchLocked(v, "bench-client", recs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := journalBatchLocked(v, "bench-client", recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

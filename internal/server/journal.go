@@ -85,6 +85,7 @@ type serverJournal struct {
 	sjMu    sync.Mutex
 	meta    *wal.WAL
 	metaLSN uint64
+	encBuf  bytes.Buffer // gob scratch reused across meta appends (sjMu serializes)
 }
 
 func (sj *serverJournal) snapshotPath() string { return filepath.Join(sj.dir, "snapshot") }
@@ -253,19 +254,27 @@ func replayBatchLocked(v *volume, e volEntry) error {
 // journalBatchLocked frames an applied batch into v's WAL before it
 // commits. Caller holds v.mu. A nil WAL (no journal attached, or a
 // volume created before attach on a legacy path) journals nothing.
+//
+// Each WAL payload must be a self-contained gob stream — replay runs a
+// fresh decoder per record — so the encoder is rebuilt per batch; the
+// buffer it fills is the volume's reusable scratch, and the WAL copies
+// the payload into its own frame before Append returns
+// (BenchmarkAllocJournalBatch pins the steady state).
+//
+//codalint:hotpath per-batch journal framing
 func journalBatchLocked(v *volume, client string, recs []cml.Record) error {
 	if v.wal == nil {
 		return nil
 	}
-	e := volEntry{LSN: v.walLSN + 1, Client: client, Recs: recs}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+	v.encBuf.Reset()
+	//codalint:ignore allocscan gob must box and walk the batch, and each payload needs a fresh encoder to stay self-contained; the buffer underneath is reused
+	if err := gob.NewEncoder(&v.encBuf).Encode(volEntry{LSN: v.walLSN + 1, Client: client, Recs: recs}); err != nil {
 		return err
 	}
-	if err := v.wal.Append(buf.Bytes()); err != nil {
+	if err := v.wal.Append(v.encBuf.Bytes()); err != nil {
 		return err
 	}
-	v.walLSN = e.LSN
+	v.walLSN++
 	return nil
 }
 
@@ -279,12 +288,12 @@ func (s *Server) journalCreateLocked(v *volume, modTime time.Time) error {
 	sj.sjMu.Lock()
 	defer sj.sjMu.Unlock()
 	e := metaEntry{LSN: sj.metaLSN + 1, Name: v.info.Name, ID: v.info.ID, ModTime: modTime}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+	sj.encBuf.Reset()
+	if err := gob.NewEncoder(&sj.encBuf).Encode(e); err != nil {
 		return err
 	}
 	//codalint:ignore lockhold journal-first commit: sjMu must cover the meta append so meta-LSN order matches creation order
-	if err := sj.meta.Append(buf.Bytes()); err != nil {
+	if err := sj.meta.Append(sj.encBuf.Bytes()); err != nil {
 		return err
 	}
 	sj.metaLSN = e.LSN

@@ -27,6 +27,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -200,6 +201,10 @@ type volume struct {
 	// (see journal.go). Guarded by mu like everything else here.
 	wal    *wal.WAL
 	walLSN uint64
+	// encBuf is the gob scratch buffer journalBatchLocked reuses across
+	// appends; mu serializes them, and the WAL copies the payload into
+	// its own frame before Append returns.
+	encBuf bytes.Buffer
 }
 
 type fragKey struct {

@@ -1,0 +1,29 @@
+package sftp
+
+import "testing"
+
+// The ship benchmarks pin the per-fragment framing paths at zero
+// steady-state heap allocations (pooled buffers, recycled as soon as
+// the send callback returns). Enforced by benchgate against
+// bench_baseline.json.
+
+func BenchmarkAllocShipData(b *testing.B) {
+	e := &Engine{send: func(dst string, p []byte) error { return nil }}
+	data := make([]byte, DataPacketSize)
+	e.shipData("dst", 1, 0, 1, uint64(len(data)), data) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.shipData("dst", 1, uint32(i), uint32(b.N), uint64(len(data)), data)
+	}
+}
+
+func BenchmarkAllocShipAck(b *testing.B) {
+	e := &Engine{send: func(dst string, p []byte) error { return nil }}
+	e.shipAck("dst", 1, 0, 0) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.shipAck("dst", 1, uint32(i), 0xff)
+	}
+}

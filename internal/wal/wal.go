@@ -119,6 +119,7 @@ type WAL struct {
 	segSize  int64
 	lastSync time.Time // SyncInterval bookkeeping
 	dirty    bool      // unsynced appends pending
+	scratch  []byte    // frame buffer reused across appends (mu serializes them)
 }
 
 // walMetrics holds the log's obs handles; all nil (inert) without
@@ -327,7 +328,11 @@ func (w *WAL) startSegment(idx uint64) error {
 
 // Append frames payload and writes it to the active segment, rotating
 // and syncing as the policy dictates. When Append returns nil under
-// SyncEachRecord, the record is durable.
+// SyncEachRecord, the record is durable. The frame is built in a
+// per-WAL scratch buffer — w.mu already serializes appends — so the
+// steady state allocates nothing (BenchmarkAllocWALAppend).
+//
+//codalint:hotpath journal framing
 func (w *WAL) Append(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -340,12 +345,16 @@ func (w *WAL) Append(payload []byte) error {
 
 	if w.segSize > 0 && w.segSize+frameHeader+int64(len(payload)) > w.opts.SegmentBytes {
 		//codalint:ignore lockhold the WAL mutex is the fsync serialization point: rotation must be ordered with appends
-		if err := w.rotateLocked(); err != nil {
+		if err := w.rotateLocked(); err != nil { //codalint:ignore allocscan rotation fires once per SegmentBytes of traffic; its path names are amortized
 			return err
 		}
 	}
 
-	frame := make([]byte, frameHeader+len(payload))
+	if need := frameHeader + len(payload); cap(w.scratch) < need {
+		//codalint:ignore allocscan scratch growth fires once per high-water payload size, then every append reuses it
+		w.scratch = make([]byte, need)
+	}
+	frame := w.scratch[:frameHeader+len(payload)]
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
 	copy(frame[frameHeader:], payload)

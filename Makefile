@@ -18,7 +18,7 @@ race:
 # rejection tests, under the race detector.
 crash:
 	$(GO) test -race -count=1 -run 'Crash|Torn|Journal|Recovery|Corrupt' \
-		./internal/wal/ ./internal/crashfs/ ./internal/venus/ ./internal/server/ ./internal/cml/
+		./internal/wal/ ./internal/crashfs/ ./internal/venus/ ./internal/server/ ./internal/cml/ ./internal/group/
 
 # Same wall-clock budget as CI so a local `make lint` catches an
 # analysis-time regression before the workflow does.
@@ -41,8 +41,11 @@ bench-json:
 # Alloc-fenced benchmark sweep. -benchtime=200x fixes the iteration
 # count so AllocsPerOp (and B/op, where amortized growth is charged)
 # is reproducible run to run — a prerequisite for gating it strictly.
+# BenchmarkReplicatedReintegrate rides along: a whole-sim benchmark, but
+# deterministic for the same reason, pinning the replicated
+# reintegration path's allocation budget.
 bench-allocs:
-	$(GO) test -run='^$$' -bench=BenchmarkAlloc -benchmem -benchtime=200x ./... | tee bench_allocs.txt
+	$(GO) test -run='^$$' -bench='BenchmarkAlloc|BenchmarkReplicatedReintegrate' -benchmem -benchtime=200x ./... | tee bench_allocs.txt
 
 # Perf gate: diff the sweep and the figure series against the
 # committed bench_baseline.json. Fails on any AllocsPerOp growth and

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	codabench [-fig 1,4,7,8,9,10,11,12] [-ablations] [-quick] [-seed N] [-trials N] [-o out.txt] [-json out.json]
+//	codabench [-fig 1,4,7,8,9,10,11,12,repl] [-ablations] [-quick] [-seed N] [-trials N] [-o out.txt] [-json out.json]
 //
-// -fig selects figures (default all); Figure 12 includes Figures 13 and 14.
+// -fig selects figures (default all); Figure 12 includes Figures 13 and 14,
+// and "repl" is the replication overhead/failover experiment (not a paper
+// figure).
 // -quick runs reduced workloads (for smoke testing); the full run matches
 // the scales recorded in EXPERIMENTS.md.
 // -json writes a machine-readable record of every run: an array of
@@ -43,7 +45,7 @@ type jsonRun struct {
 }
 
 func main() {
-	figs := flag.String("fig", "1,4,7,8,9,10,11,12", "comma-separated figure numbers to run")
+	figs := flag.String("fig", "1,4,7,8,9,10,11,12,repl", "comma-separated figure numbers to run")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
 	quick := flag.Bool("quick", false, "reduced workloads")
 	seed := flag.Int64("seed", 0, "random seed")
@@ -102,6 +104,7 @@ func main() {
 	run("10", func() renderable { return experiments.Figure10(opts) })
 	run("11", func() renderable { return experiments.Figure11(opts) })
 	run("12", func() renderable { return experiments.Figure12(opts) })
+	run("repl", func() renderable { return experiments.FigureRepl(opts) })
 
 	if *ablations {
 		fmt.Fprintln(w, "==== Ablations ====")

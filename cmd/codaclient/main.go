@@ -2,7 +2,10 @@
 //
 // Usage:
 //
-//	codaclient -server host:8701 [-mount usr] [-id 1]
+//	codaclient -server host:8701 [-server host:8702 ...] [-mount usr] [-id 1]
+//
+// Repeating -server names the members of a replicated server group;
+// calls fail over between them (give every client the same order).
 //
 // It exposes the file operations plus the weak-connectivity controls as a
 // small shell, and implements the paper's two advice screens (Figures 5
@@ -28,13 +31,22 @@ import (
 	"repro/internal/venus"
 )
 
+type serverList []string
+
+func (s *serverList) String() string     { return fmt.Sprint(*s) }
+func (s *serverList) Set(v string) error { *s = append(*s, v); return nil }
+
 func main() {
-	serverAddr := flag.String("server", "127.0.0.1:8701", "server UDP address")
+	var servers serverList
+	flag.Var(&servers, "server", "server UDP address (repeat for a replicated group)")
 	mount := flag.String("mount", "usr", "volume to mount at startup")
 	id := flag.Uint("id", 1, "client id (unique per server)")
 	stateFile := flag.String("state", "", "persist CML and hoard database to this file across restarts")
 	metrics := flag.String("metrics", "", "serve Prometheus metrics on this HTTP address (e.g. :9702)")
 	flag.Parse()
+	if len(servers) == 0 {
+		servers = serverList{"127.0.0.1:8701"}
+	}
 
 	conn, err := netsim.ListenUDP(":0")
 	if err != nil {
@@ -46,7 +58,7 @@ func main() {
 		reg = obs.NewRegistry(simtime.Real{})
 	}
 	v := venus.New(simtime.Real{}, conn, venus.Config{
-		Server:        *serverAddr,
+		Servers:       servers,
 		ClientID:      uint32(*id),
 		ProbeInterval: 30 * time.Second,
 		Advisor:       &terminalAdvisor{in: bufio.NewReader(os.Stdin)},
@@ -68,7 +80,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "restore state:", err)
 		}
 	}
-	fmt.Printf("mounted /coda/%s from %s — type 'help'\n", *mount, *serverAddr)
+	fmt.Printf("mounted /coda/%s from %s — type 'help'\n", *mount, strings.Join(servers, ","))
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -231,7 +243,7 @@ status:     state | cml | cache | conflicts | stats
 			fmt.Println("server reachable")
 		}
 	case "bw":
-		fmt.Printf("estimated bandwidth: %d b/s\n", v.ServerPeer().Bandwidth())
+		fmt.Printf("estimated bandwidth: %d b/s\n", v.LinkBandwidth())
 	case "state":
 		fmt.Println(v.State())
 	case "cache":

@@ -3,10 +3,14 @@
 // Usage:
 //
 //	codasrv [-listen :8701] [-vol usr -vol proj ...] [-seed-files N]
+//	        [-peer host:8702 -peer host:8703 ...]
 //
 // The server exports the named volumes (default "usr"), optionally
 // pre-populated with N small files each, and serves codaclient instances
-// until interrupted.
+// until interrupted. With -peer flags it runs as one member of a
+// replicated group: committed updates are shipped to the peers, and at
+// boot the server pulls any log suffix it missed while down from the
+// first reachable peer.
 package main
 
 import (
@@ -35,6 +39,8 @@ func main() {
 	metrics := flag.String("metrics", "", "serve Prometheus metrics on this HTTP address (e.g. :9701)")
 	var vols volList
 	flag.Var(&vols, "vol", "volume to export (repeatable; default usr)")
+	var peers volList
+	flag.Var(&peers, "peer", "replica group peer address (repeatable)")
 	flag.Parse()
 	if len(vols) == 0 {
 		vols = volList{"usr"}
@@ -48,7 +54,7 @@ func main() {
 	if *metrics != "" {
 		reg = obs.NewRegistry(simtime.Real{})
 	}
-	srv := server.New(simtime.Real{}, conn, server.WithObs(reg))
+	srv := server.New(simtime.Real{}, conn, server.WithObs(reg), server.WithPeers(peers...))
 	if *metrics != "" {
 		go func() {
 			log.Printf("metrics on http://%s/metrics", *metrics)
@@ -75,6 +81,17 @@ func main() {
 			}
 		}
 		log.Printf("exporting volume %q", vol)
+	}
+	// Rejoin the group: pull whatever suffix the peers committed while
+	// this member was down. Unreachable peers are not fatal — catch-up
+	// also happens lazily when the first gap is detected.
+	for _, p := range peers {
+		if err := srv.CatchUp(p); err != nil {
+			log.Printf("catch-up from %s: %v", p, err)
+			continue
+		}
+		log.Printf("caught up from %s", p)
+		break
 	}
 	log.Printf("codasrv listening on %s", conn.LocalAddr())
 

@@ -38,7 +38,7 @@ func main() {
 		must(v.Mount("proj"))
 		report := func(where string) {
 			fmt.Printf("%-22s state=%-19s bw=%8d b/s  CML=%2d records (%5d B)\n",
-				where, v.State(), v.ServerPeer().Bandwidth(), v.CMLRecords(), v.CMLBytes())
+				where, v.State(), v.LinkBandwidth(), v.CMLRecords(), v.CMLBytes())
 		}
 
 		// 09:00, office Ethernet: hoard the sources for the trip.

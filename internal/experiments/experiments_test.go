@@ -215,6 +215,44 @@ func TestFigure11Table(t *testing.T) {
 	_ = res.Render()
 }
 
+func TestFigureReplShape(t *testing.T) {
+	res := FigureRepl(Options{Seed: 1, Quick: true})
+	if res.SingleClientBytes == 0 || res.GroupClientBytes == 0 {
+		t.Fatalf("no wire traffic measured: single=%d group=%d",
+			res.SingleClientBytes, res.GroupClientBytes)
+	}
+	// The acceptance bound: three replicas must not cost the client's
+	// link more than 2× a single server (it should be barely above 1× —
+	// the client ships once and fails over, it does not multicast).
+	if res.ClientRatioX100 > 200 {
+		t.Errorf("client-link overhead = %d/100, want ≤ 200", res.ClientRatioX100)
+	}
+	// Ship traffic between members is real, so the total must exceed the
+	// client link's share.
+	if res.GroupTotalBytes <= res.GroupClientBytes {
+		t.Errorf("group total %d ≤ client share %d; no ship traffic measured?",
+			res.GroupTotalBytes, res.GroupClientBytes)
+	}
+	// The failure phase: the kill was survived via failover, the rebooted
+	// member pulled its missed suffix, and the group converged.
+	if res.Failovers == 0 {
+		t.Error("no failovers despite a member kill")
+	}
+	if res.FailoverWaitUS == 0 {
+		t.Error("failover wait not measured")
+	}
+	if res.CatchupRecords == 0 {
+		t.Error("restarted member caught up zero records")
+	}
+	if !res.Identical {
+		t.Error("replicas not byte-identical after recovery")
+	}
+	if len(res.RegistrySnapshots()) != 2 {
+		t.Errorf("snapshots = %d, want single + replicated", len(res.RegistrySnapshots()))
+	}
+	_ = res.Render()
+}
+
 func TestFigure12Insulation(t *testing.T) {
 	res := Figure12(Options{Seed: 1, Quick: true})
 	combo := Fig12Combo{time.Second, 600 * time.Second}

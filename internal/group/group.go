@@ -1,0 +1,237 @@
+// Package group assembles server.Server replicas into replicated volume
+// storage groups — the paper's VSGs (§2: "volumes … stored at a group of
+// servers"), scaled out with a placement map so a deployment can run many
+// groups side by side.
+//
+// A Group is N servers that each hold every volume the group carries.
+// Members push committed log entries to each other (ShipLog) and pull
+// missed suffixes after a restart (FetchLog); the group layer itself
+// stays out of the data path — it only constructs members with the right
+// peer wiring, mirrors administrative operations (volume creation,
+// seeding) across them, and exposes replica-lag observability. Clients
+// talk to members directly and fail over between them (internal/venus).
+//
+// Placement maps volume names onto groups deterministically, so every
+// client and tool resolves a volume to the same group without a
+// directory service — the precursor to real sharding (ROADMAP item 5).
+package group
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/codafs"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/simtime"
+)
+
+// Group is a set of server replicas that carry the same volumes.
+type Group struct {
+	clock   simtime.Clock
+	addrs   []string
+	servers []*server.Server
+	reg     *obs.Registry
+}
+
+// Option configures a Group at construction.
+type Option func(*Group)
+
+// WithObs injects the observability registry every member (and the
+// group's own lag gauges) registers metrics with.
+func WithObs(reg *obs.Registry) Option {
+	return func(g *Group) { g.reg = reg }
+}
+
+// New builds a group with one member per connection, each configured to
+// push committed log entries to all the others. Member i listens on
+// conns[i]; the member order is the group's canonical order (clients
+// derive per-volume preferred members from it).
+func New(clock simtime.Clock, conns []netsim.PacketConn, opts ...Option) (*Group, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("group: need at least one member")
+	}
+	g := &Group{clock: clock}
+	for _, o := range opts {
+		o(g)
+	}
+	for _, c := range conns {
+		g.addrs = append(g.addrs, c.LocalAddr())
+	}
+	for i, c := range conns {
+		sopts := []server.Option{server.WithPeers(g.PeerAddrs(i)...)}
+		if g.reg != nil {
+			sopts = append(sopts, server.WithObs(g.reg))
+		}
+		g.servers = append(g.servers, server.New(clock, c, sopts...))
+	}
+	if g.reg != nil {
+		for i := range g.servers {
+			srv := g.servers[i]
+			node := obs.L("node", g.addrs[i])
+			g.reg.GaugeFunc("group_replica_lag_entries", func() int64 {
+				return g.lagOf(srv)
+			}, node)
+		}
+	}
+	return g, nil
+}
+
+// Len returns the member count.
+func (g *Group) Len() int { return len(g.servers) }
+
+// Addrs returns the members' addresses in canonical order.
+func (g *Group) Addrs() []string { return append([]string(nil), g.addrs...) }
+
+// Servers returns the members in canonical order.
+func (g *Group) Servers() []*server.Server {
+	return append([]*server.Server(nil), g.servers...)
+}
+
+// Member returns member i.
+func (g *Group) Member(i int) *server.Server { return g.servers[i] }
+
+// PeerAddrs returns every member address except member i's — the peer
+// list a member (or its replacement after a crash) is constructed with.
+func (g *Group) PeerAddrs(i int) []string {
+	peers := make([]string, 0, len(g.addrs)-1)
+	for j, a := range g.addrs {
+		if j != i {
+			peers = append(peers, a)
+		}
+	}
+	return peers
+}
+
+// ReplaceMember installs a new server as member i — how a crashed
+// member, recovered into a fresh process (server.New + AttachJournal),
+// rejoins its group. The replacement should have been built with
+// PeerAddrs(i) and must listen on the same address.
+func (g *Group) ReplaceMember(i int, srv *server.Server) error {
+	if srv.Addr() != g.addrs[i] {
+		return fmt.Errorf("group: replacement for member %d listens on %q, want %q",
+			i, srv.Addr(), g.addrs[i])
+	}
+	g.servers[i] = srv
+	return nil
+}
+
+// Each runs fn on every member in canonical order, stopping at the
+// first error. Administrative mutations must go through Each (or the
+// helpers below) so members stay identical.
+func (g *Group) Each(fn func(*server.Server) error) error {
+	for i, s := range g.servers {
+		if err := fn(s); err != nil {
+			return fmt.Errorf("group: member %d (%s): %w", i, g.addrs[i], err)
+		}
+	}
+	return nil
+}
+
+// CreateVolume creates the volume on every member. Members assign IDs
+// deterministically, so the same creation order yields the same ID
+// everywhere; a mismatch means the members have diverged and is an error.
+func (g *Group) CreateVolume(name string) (codafs.VolumeInfo, error) {
+	var info codafs.VolumeInfo
+	for i, s := range g.servers {
+		vi, err := s.CreateVolume(name)
+		if err != nil {
+			return codafs.VolumeInfo{}, fmt.Errorf("group: member %d (%s): %w", i, g.addrs[i], err)
+		}
+		if i == 0 {
+			info = vi
+		} else if vi.ID != info.ID {
+			return codafs.VolumeInfo{}, fmt.Errorf(
+				"group: volume %q got ID %d on member %d, %d on member 0", name, vi.ID, i, info.ID)
+		}
+	}
+	return info, nil
+}
+
+// WriteFile seeds a file identically on every member (administrative
+// writes bypass the replicated log, so the group mirrors them).
+func (g *Group) WriteFile(volName, relPath string, data []byte) error {
+	return g.Each(func(s *server.Server) error {
+		_, err := s.WriteFile(volName, relPath, data)
+		return err
+	})
+}
+
+// MakeDir seeds a directory identically on every member.
+func (g *Group) MakeDir(volName, relPath string) error {
+	return g.Each(func(s *server.Server) error {
+		_, err := s.MakeDir(volName, relPath)
+		return err
+	})
+}
+
+// Close shuts down every member.
+func (g *Group) Close() {
+	for _, s := range g.servers {
+		s.Close()
+	}
+}
+
+// lagOf reports how many log entries srv is behind the most advanced
+// member, maximized over volumes — the group_replica_lag_entries gauge.
+func (g *Group) lagOf(srv *server.Server) int64 {
+	head := make(map[codafs.VolumeID]uint64)
+	for _, s := range g.servers {
+		for _, p := range s.VolumePositions() {
+			if p.LSN > head[p.ID] {
+				head[p.ID] = p.LSN
+			}
+		}
+	}
+	var lag uint64
+	for _, p := range srv.VolumePositions() {
+		if h := head[p.ID]; h > p.LSN && h-p.LSN > lag {
+			lag = h - p.LSN
+		}
+	}
+	return int64(lag)
+}
+
+// Placement deterministically maps volume names onto groups: explicit
+// pins win, everything else hashes. Every process that constructs the
+// same Placement resolves volumes identically.
+type Placement struct {
+	groups []*Group
+	pinned map[string]int
+}
+
+// NewPlacement builds a placement over the given groups in order.
+func NewPlacement(groups ...*Group) *Placement {
+	return &Placement{groups: groups, pinned: make(map[string]int)}
+}
+
+// Pin assigns a volume to a specific group index, overriding the hash.
+func (p *Placement) Pin(volume string, group int) error {
+	if group < 0 || group >= len(p.groups) {
+		return fmt.Errorf("group: pin %q to group %d of %d", volume, group, len(p.groups))
+	}
+	p.pinned[volume] = group
+	return nil
+}
+
+// GroupFor resolves the group that carries a volume.
+func (p *Placement) GroupFor(volume string) *Group {
+	return p.groups[p.IndexFor(volume)]
+}
+
+// IndexFor resolves the group index for a volume: its pin if present,
+// otherwise an FNV-1a hash of the name modulo the group count.
+func (p *Placement) IndexFor(volume string) int {
+	if i, ok := p.pinned[volume]; ok {
+		return i
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(volume))
+	return int(h.Sum32() % uint32(len(p.groups)))
+}
+
+// Groups returns the placement's groups in order.
+func (p *Placement) Groups() []*Group {
+	return append([]*Group(nil), p.groups...)
+}

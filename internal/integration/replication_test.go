@@ -1,0 +1,243 @@
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/simtime"
+	"repro/internal/venus"
+)
+
+// gworld is a sim whose server side is a replicated group instead of a
+// single server.
+type gworld struct {
+	sim *simtime.Sim
+	net *netsim.Network
+	grp *group.Group
+}
+
+func newGroupWorld(t *testing.T, seed int64, members int) *gworld {
+	t.Helper()
+	s := simtime.NewSim(simtime.Epoch1995)
+	n := netsim.New(s, seed)
+	n.SetDefaults(netsim.Ethernet.Params())
+	conns := make([]netsim.PacketConn, members)
+	for i := range conns {
+		conns[i] = n.Host(fmt.Sprintf("srv%d", i))
+	}
+	grp, err := group.New(s, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &gworld{sim: s, net: n, grp: grp}
+}
+
+func (w *gworld) venus(name string, id uint32, cfg venus.Config) *venus.Venus {
+	cfg.Servers = w.grp.Addrs()
+	cfg.ClientID = id
+	if cfg.TrickleInterval == 0 {
+		cfg.TrickleInterval = time.Second
+	}
+	return venus.New(w.sim, w.net.Host(name), cfg)
+}
+
+// requireGroupConverged asserts byte-identical SaveState across members.
+func (w *gworld) requireGroupConverged(t *testing.T) {
+	t.Helper()
+	var img0 bytes.Buffer
+	if err := w.grp.Member(0).SaveState(&img0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < w.grp.Len(); i++ {
+		var img bytes.Buffer
+		if err := w.grp.Member(i).SaveState(&img); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(img0.Bytes(), img.Bytes()) {
+			t.Errorf("member %d SaveState differs from member 0", i)
+		}
+	}
+}
+
+// TestParallelVolumesReplicatedGroup extends the 1 + 3·C·K per-volume
+// stamp invariant to a three-member group: C clients × V volumes writing
+// concurrently through their per-volume preferred members, with every
+// mutation shipped to the peers. The exact stamp must hold on EVERY
+// member — replication may not lose an update, deliver one twice, or
+// reorder within a volume — and the members must end byte-identical.
+func TestParallelVolumesReplicatedGroup(t *testing.T) {
+	const (
+		C = 3 // clients
+		V = 3 // volumes
+		K = 2 // files per (client, volume)
+	)
+	w := newGroupWorld(t, 7, 3)
+	for j := 0; j < V; j++ {
+		if _, err := w.grp.CreateVolume(fmt.Sprintf("vol%d", j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.sim.Run(func() {
+		clients := make([]*venus.Venus, C)
+		for i := range clients {
+			clients[i] = w.venus(fmt.Sprintf("c%d", i), uint32(i+1), venus.Config{})
+			for j := 0; j < V; j++ {
+				if err := clients[i].Mount(fmt.Sprintf("vol%d", j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		done := simtime.NewQueue[error](w.sim)
+		for i := 0; i < C; i++ {
+			for j := 0; j < V; j++ {
+				i, j := i, j
+				w.sim.Go(func() {
+					var err error
+					for k := 0; k < K; k++ {
+						path := fmt.Sprintf("/coda/vol%d/c%d_f%d.txt", j, i, k)
+						if e := clients[i].WriteFile(path, payload(i, j, k)); e != nil && err == nil {
+							err = fmt.Errorf("%s: %w", path, e)
+						}
+					}
+					done.Put(err)
+				})
+			}
+		}
+		for n := 0; n < C*V; n++ {
+			if err, _ := done.Get(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.sim.Sleep(30 * time.Second) // let ships drain group-wide
+
+		want := uint64(1 + 3*C*K)
+		for j := 0; j < V; j++ {
+			name := fmt.Sprintf("vol%d", j)
+			for m := 0; m < w.grp.Len(); m++ {
+				stamp, err := w.grp.Member(m).VolumeStamp(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stamp != want {
+					t.Errorf("member %d %s stamp = %d, want %d", m, name, stamp, want)
+				}
+			}
+		}
+		for i := 0; i < C; i++ {
+			for j := 0; j < V; j++ {
+				for k := 0; k < K; k++ {
+					rel := fmt.Sprintf("c%d_f%d.txt", i, k)
+					for m := 0; m < w.grp.Len(); m++ {
+						got, err := w.grp.Member(m).ReadFile(fmt.Sprintf("vol%d", j), rel)
+						if err != nil || !bytes.Equal(got, payload(i, j, k)) {
+							t.Errorf("member %d vol%d/%s = %d bytes, %v", m, j, rel, len(got), err)
+						}
+					}
+				}
+			}
+		}
+		w.requireGroupConverged(t)
+	})
+}
+
+// TestReintegrateRetransmitDedupUnderAckLoss: the preferred member
+// applies a reintegration but every packet back to the client is lost,
+// so the client times out, fails over, and retransmits the same CML
+// batch to the second member. The (client, seq) dedup set must absorb
+// the retransmit: the exact single-delivery stamp on both members, the
+// CML drained, and the group byte-identical.
+//
+// The batch is kept to one small file so the Reintegrate body stays
+// inline (under rpc2.InlineLimit): a larger body travels by SFTP, whose
+// reliable transfer cannot even complete against a dead return path, so
+// the preferred member would never receive the batch and there would be
+// nothing to deduplicate.
+func TestReintegrateRetransmitDedupUnderAckLoss(t *testing.T) {
+	const K = 1
+	w := newGroupWorld(t, 9, 2)
+	info, err := w.grp.CreateVolume("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefIdx := int(uint64(info.ID) % uint64(w.grp.Len()))
+	pref := w.grp.Addrs()[prefIdx]
+	otherIdx := (prefIdx + 1) % w.grp.Len()
+	w.sim.Run(func() {
+		// AgingWindow holds the records back long enough to reconnect and
+		// cut the ack path before the first drain attempt.
+		v := w.venus("laptop", 1, venus.Config{AgingWindow: time.Minute})
+		if err := v.Mount("work"); err != nil {
+			t.Fatal(err)
+		}
+
+		// Log a batch while disconnected.
+		v.Disconnect()
+		for k := 0; k < K; k++ {
+			path := fmt.Sprintf("/coda/work/f%d.txt", k)
+			if err := v.WriteFile(path, []byte(fmt.Sprintf("draft %d", k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Reconnect over healthy links so reconnection validation keeps
+		// the preferred member, then kill its return path: reintegration
+		// requests will arrive and execute there, but the acks vanish —
+		// the lost-ack half of the failover-retransmit scenario.
+		v.Connect(0)
+		w.sim.Sleep(5 * time.Second)
+		if n := v.CMLRecords(); n != 2*K {
+			t.Fatalf("CML drained to %d records before the ack path was cut; raise AgingWindow", n)
+		}
+		w.net.ConfigureOneWay(pref, "laptop", func(p *netsim.LinkParams) { p.Up = false })
+
+		deadline := w.sim.Now().Add(30 * time.Minute)
+		for v.CMLRecords() > 0 && w.sim.Now().Before(deadline) {
+			w.sim.Sleep(10 * time.Second)
+		}
+		if n := v.CMLRecords(); n != 0 {
+			t.Fatalf("CML still holds %d records after failover window", n)
+		}
+		if v.Stats().Failovers == 0 {
+			t.Error("no failover counted despite dead return path")
+		}
+
+		// Exact accounting: one delivery's worth of stamps, nothing more.
+		// A reintegrated batch bumps the stamp once per distinct object it
+		// touches — K files plus the root directory over the initial 1.
+		w.net.ConfigureOneWay(pref, "laptop", func(p *netsim.LinkParams) { p.Up = true })
+		w.sim.Sleep(30 * time.Second) // ships settle
+		want := uint64(1 + K + 1)
+		for m := 0; m < w.grp.Len(); m++ {
+			stamp, err := w.grp.Member(m).VolumeStamp("work")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stamp != want {
+				t.Errorf("member %d stamp = %d, want %d (duplicate apply?)", m, stamp, want)
+			}
+		}
+		// Both members saw a Reintegrate (original + retransmit), and the
+		// failover target absorbed the whole batch as duplicates.
+		if got := w.grp.Member(otherIdx).Stats().DuplicatesDropped; got != 2*K {
+			t.Errorf("failover target DuplicatesDropped = %d, want %d", got, 2*K)
+		}
+		if reints := w.grp.Member(prefIdx).Stats().Reintegrations +
+			w.grp.Member(otherIdx).Stats().Reintegrations; reints < 2 {
+			t.Errorf("group saw %d reintegrations, want original + retransmit", reints)
+		}
+		for k := 0; k < K; k++ {
+			for m := 0; m < w.grp.Len(); m++ {
+				got, err := w.grp.Member(m).ReadFile("work", fmt.Sprintf("f%d.txt", k))
+				if err != nil || string(got) != fmt.Sprintf("draft %d", k) {
+					t.Errorf("member %d f%d.txt = %q, %v", m, k, got, err)
+				}
+			}
+		}
+		w.requireGroupConverged(t)
+	})
+}

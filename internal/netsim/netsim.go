@@ -137,12 +137,21 @@ func (n *Network) SetDefaults(p LinkParams) {
 	n.defaults = p
 }
 
-// Host creates (or returns) the endpoint named addr.
+// Host creates (or returns) the endpoint named addr. If the existing
+// endpoint has been closed, a fresh one replaces it — a rebooted machine
+// attaching a new interface at its old address. Packets are routed by
+// address at send time, so traffic reaches the replacement; anything
+// already queued on the dead endpoint stays dead with it.
 func (n *Network) Host(addr string) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if e, ok := n.nodes[addr]; ok {
-		return e
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if !closed {
+			return e
+		}
 	}
 	e := &Endpoint{
 		net:   n,

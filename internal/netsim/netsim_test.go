@@ -390,3 +390,36 @@ func TestAsymmetricLink(t *testing.T) {
 		}
 	})
 }
+
+func TestHostReturnsFreshEndpointAfterClose(t *testing.T) {
+	// A closed endpoint models a machine going down; Host for the same
+	// address afterwards models its reboot. Traffic sent post-reboot must
+	// reach the replacement endpoint, and the dead endpoint must stay dead.
+	s := simtime.NewSim(simtime.Epoch1995)
+	n := New(s, 1)
+	old := n.Host("srv")
+	if n.Host("srv") != old {
+		t.Fatal("Host returned a new endpoint while the old one was open")
+	}
+	old.Close()
+	fresh := n.Host("srv")
+	if fresh == old {
+		t.Fatal("Host returned the closed endpoint")
+	}
+	s.Run(func() {
+		peer := n.Host("peer")
+		if err := peer.Send("srv", []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		payload, src, ok := fresh.RecvTimeout(time.Minute)
+		if !ok || src != "peer" || string(payload) != "hello" {
+			t.Fatalf("rebooted endpoint: %q from %q, ok=%v", payload, src, ok)
+		}
+		if _, _, ok := old.RecvTimeout(time.Second); ok {
+			t.Error("closed endpoint still receives")
+		}
+		if err := old.Send("peer", nil); err == nil {
+			t.Error("closed endpoint still sends")
+		}
+	})
+}

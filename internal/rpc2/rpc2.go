@@ -125,6 +125,13 @@ type Node struct {
 	closed     bool
 
 	epoch time.Time // base for 32-bit microsecond timestamps
+	// inc is the node's incarnation, stamped on every request it issues
+	// and echoed by replies (RPC2's connection epoch). A restarted node
+	// reuses sequence numbers from 1; without the incarnation a peer's
+	// reply cache would answer the new node's calls with the old node's
+	// replies. Receivers flush a peer's cache when its incarnation
+	// changes, and callers discard echoes from a previous life.
+	inc uint32
 
 	met nodeMetrics
 }
@@ -154,11 +161,13 @@ type inbound struct {
 	kind   byte
 	flags  byte
 	tsEcho uint32
+	inc    uint32
 	body   []byte
 	src    string
 }
 
 type peerCache struct {
+	inc        uint32 // incarnation of the peer this cache serves
 	inProgress map[uint64]bool
 	replies    map[uint64]wireReply
 	order      []uint64
@@ -186,6 +195,7 @@ func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, h
 		// Back-date the epoch so a timestamp can never be zero (zero
 		// means "no echo" on the wire).
 		epoch: clock.Now().Add(-time.Millisecond),
+		inc:   incarnation(clock),
 		met: nodeMetrics{
 			calls:       reg.Counter("rpc2_calls_total", node),
 			inflight:    reg.Gauge("rpc2_calls_inflight", node),
@@ -321,7 +331,7 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 	}
 
 	send := func() {
-		n.sendPacket(dst, kindReq, flags, seq, n.ticks(), 0, wireBody)
+		n.sendPacket(dst, kindReq, flags, seq, n.ticks(), 0, n.inc, wireBody)
 	}
 	send()
 
@@ -411,7 +421,7 @@ func (n *Node) Probe(dst string, timeout time.Duration) error {
 	deadline := n.clock.Now().Add(timeout)
 	rto := peer.RTO()
 	for {
-		n.sendPacket(dst, kindProbe, 0, seq, n.ticks(), 0, nil)
+		n.sendPacket(dst, kindProbe, 0, seq, n.ticks(), 0, n.inc, nil)
 		remain := deadline.Sub(n.clock.Now())
 		if remain <= 0 {
 			return fmt.Errorf("%w: probe %s", ErrTimeout, dst)
@@ -444,50 +454,61 @@ func (n *Node) recvLoop() {
 			n.engine.Deliver(src, payload[1:])
 			continue
 		}
-		kind, flags, seq, ts, tsEcho, body, ok := decodePacket(payload)
+		kind, flags, seq, ts, tsEcho, inc, body, ok := decodePacket(payload)
 		if !ok {
 			continue
 		}
 		switch kind {
 		case kindReq:
-			n.handleRequest(src, flags, seq, ts, body)
+			n.handleRequest(src, flags, seq, ts, inc, body)
 		case kindRep, kindBusy:
+			if inc != n.inc {
+				continue // reply addressed to a previous incarnation of this node
+			}
 			n.mu.Lock()
 			q := n.pending[seq]
 			n.mu.Unlock()
 			if q != nil {
-				q.Put(inbound{kind: kind, flags: flags, tsEcho: tsEcho, body: body, src: src})
+				q.Put(inbound{kind: kind, flags: flags, tsEcho: tsEcho, inc: inc, body: body, src: src})
 			}
 		case kindProbe:
-			n.sendPacket(src, kindProbeAck, 0, seq, n.ticks(), ts, nil)
+			n.sendPacket(src, kindProbeAck, 0, seq, n.ticks(), ts, inc, nil)
 		case kindProbeAck:
+			if inc != n.inc {
+				continue
+			}
 			n.observeEcho(n.mon.Peer(src), tsEcho)
 			n.mu.Lock()
 			q := n.pending[seq]
 			n.mu.Unlock()
 			if q != nil {
-				q.Put(inbound{kind: kind, tsEcho: tsEcho, src: src})
+				q.Put(inbound{kind: kind, tsEcho: tsEcho, inc: inc, src: src})
 			}
 		}
 	}
 }
 
-func (n *Node) handleRequest(src string, flags byte, seq uint64, ts uint32, body []byte) {
+func (n *Node) handleRequest(src string, flags byte, seq uint64, ts, inc uint32, body []byte) {
 	n.mu.Lock()
 	pc := n.replyCache[src]
-	if pc == nil {
-		pc = &peerCache{inProgress: make(map[uint64]bool), replies: make(map[uint64]wireReply)}
+	if pc == nil || pc.inc != inc {
+		// First contact, or the peer restarted and began a new sequence
+		// space: a fresh cache, abandoning the old incarnation's entries.
+		// Handlers still running for the old cache write their replies
+		// into the orphaned object, where no new-incarnation sequence
+		// number can ever collide with them.
+		pc = &peerCache{inc: inc, inProgress: make(map[uint64]bool), replies: make(map[uint64]wireReply)}
 		n.replyCache[src] = pc
 	}
 	if rep, done := pc.replies[seq]; done {
 		n.mu.Unlock()
 		n.met.dupReplies.Inc()
-		n.sendPacket(src, kindRep, rep.flags, seq, n.ticks(), ts, rep.body)
+		n.sendPacket(src, kindRep, rep.flags, seq, n.ticks(), ts, inc, rep.body)
 		return
 	}
 	if pc.inProgress[seq] {
 		n.mu.Unlock()
-		n.sendPacket(src, kindBusy, 0, seq, n.ticks(), ts, nil)
+		n.sendPacket(src, kindBusy, 0, seq, n.ticks(), ts, inc, nil)
 		return
 	}
 	pc.inProgress[seq] = true
@@ -540,8 +561,20 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts uint32, body
 			pc.order = pc.order[1:]
 		}
 		n.mu.Unlock()
-		n.sendPacket(src, kindRep, repFlags, seq, n.ticks(), ts, wire)
+		n.sendPacket(src, kindRep, repFlags, seq, n.ticks(), ts, inc, wire)
 	})
+}
+
+// incarnation derives a node's birth stamp from its clock: truncated
+// microseconds since the Unix epoch, never zero. Two incarnations of the
+// same address collide only if created within the same microsecond or
+// exactly 2^32 µs (~71 minutes) apart — a reboot cannot do either.
+func incarnation(clock simtime.Clock) uint32 {
+	v := uint32(clock.Now().UnixNano() / int64(time.Microsecond))
+	if v == 0 {
+		v = 1
+	}
+	return v
 }
 
 // ticks returns the node's clock as truncated microseconds for timestamp
@@ -568,18 +601,19 @@ func repXferID(seq uint64) uint64 { return seq<<2 | 1 }
 func userXferID(id uint64) uint64 { return id<<2 | 2 }
 
 // packetHeader is the framed size of everything before the body:
-// kind(1) flags(1) seq(8) ts(4) tsEcho(4).
-const packetHeader = 18
+// kind(1) flags(1) seq(8) ts(4) tsEcho(4) inc(4).
+const packetHeader = 22
 
 // appendPacket frames one packet into dst (the caller owns the buffer)
 // and returns the extended slice.
 //
 //codalint:hotpath rpc2 wire framing
-func appendPacket(dst []byte, kind, flags byte, seq uint64, ts, tsEcho uint32, body []byte) []byte {
+func appendPacket(dst []byte, kind, flags byte, seq uint64, ts, tsEcho, inc uint32, body []byte) []byte {
 	dst = append(dst, kind, flags)
 	dst = binary.BigEndian.AppendUint64(dst, seq)
 	dst = binary.BigEndian.AppendUint32(dst, ts)
 	dst = binary.BigEndian.AppendUint32(dst, tsEcho)
+	dst = binary.BigEndian.AppendUint32(dst, inc)
 	return append(dst, body...)
 }
 
@@ -589,9 +623,9 @@ func appendPacket(dst []byte, kind, flags byte, seq uint64, ts, tsEcho uint32, b
 // times (pinned by BenchmarkAllocSendPacket and the benchgate).
 //
 //codalint:hotpath rpc2 wire framing
-func (n *Node) sendPacket(dst string, kind, flags byte, seq uint64, ts, tsEcho uint32, body []byte) {
+func (n *Node) sendPacket(dst string, kind, flags byte, seq uint64, ts, tsEcho, inc uint32, body []byte) {
 	bp := bufpool.Get(packetHeader + len(body))
-	*bp = appendPacket(*bp, kind, flags, seq, ts, tsEcho, body)
+	*bp = appendPacket(*bp, kind, flags, seq, ts, tsEcho, inc, body)
 	_ = n.conn.Send(dst, *bp)
 	bufpool.Put(bp)
 }
@@ -614,10 +648,11 @@ func (n *Node) sendSFTP(dst string, payload []byte) error {
 // copied.
 //
 //codalint:hotpath rpc2 wire parsing
-func decodePacket(p []byte) (kind, flags byte, seq uint64, ts, tsEcho uint32, body []byte, ok bool) {
+func decodePacket(p []byte) (kind, flags byte, seq uint64, ts, tsEcho, inc uint32, body []byte, ok bool) {
 	if len(p) < packetHeader {
-		return 0, 0, 0, 0, 0, nil, false
+		return 0, 0, 0, 0, 0, 0, nil, false
 	}
 	return p[0], p[1], binary.BigEndian.Uint64(p[2:]),
-		binary.BigEndian.Uint32(p[10:]), binary.BigEndian.Uint32(p[14:]), p[packetHeader:], true
+		binary.BigEndian.Uint32(p[10:]), binary.BigEndian.Uint32(p[14:]),
+		binary.BigEndian.Uint32(p[18:]), p[packetHeader:], true
 }

@@ -85,6 +85,11 @@ func (s *Server) handle(src string, body []byte) ([]byte, error) {
 	case wire.PutFragment:
 		rep, err = s.putFragment(src, req)
 
+	case wire.ShipLog:
+		rep, err = s.shipLog(src, req)
+	case wire.FetchLog:
+		rep, err = s.fetchLog(req)
+
 	default:
 		err = fmt.Errorf("server: unknown request %T", v)
 	}
@@ -243,6 +248,7 @@ func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.Mut
 		}
 	}
 	s.dispatchBreaks(breaks)
+	s.shipToPeers(v)
 	return rep, nil
 }
 
@@ -331,26 +337,70 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 
 	s.lockVolume(v)
 
+	// Failover retransmit dedup: a client that timed out against one
+	// member retries the same chunk against another, but the first
+	// member may have applied it and shipped it here already. Records
+	// the volume has applied — identified by (client, CML sequence) —
+	// are acknowledged without re-applying, so duplicate delivery is
+	// idempotent and bumps no stamps. keep maps compact (live) record
+	// indices back to the client's original indices.
+	keep := make([]int, 0, len(recs))
+	var dupFIDs []codafs.FID
+	for i := range recs {
+		if v.isAppliedLocked(src, recs[i].Seq) {
+			rep.Results[i] = wire.RecordResult{OK: true, Msg: "duplicate: already applied"}
+			dupFIDs = append(dupFIDs, recs[i].FID)
+			continue
+		}
+		keep = append(keep, i)
+	}
+	deltas := req.Deltas
+	if len(dupFIDs) > 0 {
+		s.stats.duplicatesDropped.Add(int64(len(dupFIDs)))
+		s.met.replDups.Add(int64(len(dupFIDs)))
+		if len(keep) == 0 {
+			// The whole chunk is a retransmit of applied work: ack it as
+			// such, with the current statuses of the touched objects so
+			// the client's cache converges exactly as the lost ack would
+			// have left it.
+			rep.Applied = true
+			rep.Statuses = appendFIDStatuses(rep.Statuses, v, dupFIDs)
+			rep.VolStamp = v.info.Stamp
+			v.mu.Unlock()
+			s.dropFragments(usedFrags)
+			return rep, nil
+		}
+		compact := make([]cml.Record, len(keep))
+		deltas = make(map[int]delta.Delta, len(req.Deltas))
+		for ni, oi := range keep {
+			compact[ni] = recs[oi]
+			if dd, ok := req.Deltas[oi]; ok {
+				deltas[ni] = dd
+			}
+		}
+		recs = compact
+	}
+
 	// Reconstruct delta-shipped stores against the server's current
 	// contents (§4.1's "ship file differences" enhancement). A base
 	// mismatch fails the chunk atomically; the client retries with full
 	// contents. Indices are applied in ascending order so which failure
 	// surfaces (and the hash-verified reconstruction order) never
 	// depends on map iteration.
-	deltaIdx := make([]int, 0, len(req.Deltas))
-	for idx := range req.Deltas {
+	deltaIdx := make([]int, 0, len(deltas))
+	for idx := range deltas {
 		deltaIdx = append(deltaIdx, idx)
 	}
 	sort.Ints(deltaIdx)
 	for _, idx := range deltaIdx {
-		dd := req.Deltas[idx]
+		dd := deltas[idx]
 		if idx < 0 || idx >= len(recs) || recs[idx].Kind != cml.Store {
 			v.mu.Unlock()
 			return wire.ReintegrateRep{}, fmt.Errorf("delta index %d invalid", idx)
 		}
 		obj, ok := v.objects[recs[idx].FID]
 		if !ok {
-			rep.Results[idx] = wire.RecordResult{Conflict: true, Msg: "delta store: object removed on server"}
+			rep.Results[keep[idx]] = wire.RecordResult{Conflict: true, Msg: "delta store: object removed on server"}
 			rep.VolStamp = v.info.Stamp
 			v.mu.Unlock()
 			s.stats.reintegrationFails.Add(1)
@@ -359,7 +409,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 		}
 		newData, err := delta.Apply(obj.Data, dd)
 		if err != nil {
-			rep.Results[idx] = wire.RecordResult{DeltaFailed: true, Msg: err.Error()}
+			rep.Results[keep[idx]] = wire.RecordResult{DeltaFailed: true, Msg: err.Error()}
 			rep.VolStamp = v.info.Stamp
 			v.mu.Unlock()
 			s.stats.reintegrationFails.Add(1)
@@ -374,11 +424,11 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 	ok = true
 	for i := range recs {
 		if !ok {
-			rep.Results[i] = wire.RecordResult{Msg: "not attempted"}
+			rep.Results[keep[i]] = wire.RecordResult{Msg: "not attempted"}
 			continue
 		}
 		res := applyRecord(a, &recs[i], src)
-		rep.Results[i] = res
+		rep.Results[keep[i]] = res
 		if !res.OK {
 			ok = false
 			if res.Conflict {
@@ -397,9 +447,10 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 		return rep, nil
 	}
 	// Journal the reconstructed batch (fragments attached, deltas already
-	// applied) before commit, so replay needs neither fragment buffers nor
-	// delta bases. Failure aborts the chunk exactly like a validation
-	// failure would: nothing applied, client retries.
+	// applied, duplicates compacted out) before commit, so replay needs
+	// neither fragment buffers nor delta bases. Failure aborts the chunk
+	// exactly like a validation failure would: nothing applied, client
+	// retries.
 	if err := journalBatchLocked(v, src, recs); err != nil {
 		v.mu.Unlock()
 		s.stats.reintegrationFails.Add(1)
@@ -407,15 +458,12 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 		return wire.ReintegrateRep{}, fmt.Errorf("journal: %w", err)
 	}
 	statuses, stamp, breaks := commitApply(a, src)
+	statuses = appendFIDStatuses(statuses, v, dupFIDs)
 	v.mu.Unlock()
 
 	s.stats.recordsApplied.Add(int64(len(recs)))
 	s.met.recordsApplied.Add(int64(len(recs)))
-	s.fragMu.Lock()
-	for _, k := range usedFrags {
-		delete(s.frags, k)
-	}
-	s.fragMu.Unlock()
+	s.dropFragments(usedFrags)
 
 	rep.Applied = true
 	rep.Statuses = statuses
@@ -423,5 +471,41 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 
 	// Breaks go out with no lock held at all.
 	s.dispatchBreaks(breaks)
+	s.shipToPeers(v)
 	return rep, nil
+}
+
+// appendFIDStatuses appends the current status of each listed object not
+// already present in statuses — the reply statuses for duplicate records,
+// whose objects were touched by an earlier delivery. Caller holds v.mu.
+func appendFIDStatuses(statuses []codafs.Status, v *volume, fids []codafs.FID) []codafs.Status {
+	if len(fids) == 0 {
+		return statuses
+	}
+	have := make(map[codafs.FID]bool, len(statuses))
+	for _, st := range statuses {
+		have[st.FID] = true
+	}
+	for _, fid := range fids {
+		if have[fid] {
+			continue
+		}
+		have[fid] = true
+		if o, ok := v.objects[fid]; ok {
+			statuses = append(statuses, o.Status)
+		}
+	}
+	return statuses
+}
+
+// dropFragments discards consumed fragment buffers.
+func (s *Server) dropFragments(keys []fragKey) {
+	if len(keys) == 0 {
+		return
+	}
+	s.fragMu.Lock()
+	for _, k := range keys {
+		delete(s.frags, k)
+	}
+	s.fragMu.Unlock()
 }

@@ -191,7 +191,14 @@ func (s *Server) AttachJournal(opts JournalOptions) (RecoveryInfo, error) {
 			}
 			info.BatchesReplayed++
 			info.RecordsReplayed += len(e.Recs)
-			return replayBatchLocked(v, e)
+			if err := replayBatchLocked(v, e); err != nil {
+				return err
+			}
+			// Rebuild the replication state the entry represented: the
+			// chain folds over the exact payload bytes, so a replayed
+			// server fingerprints identically to one that never crashed.
+			v.advanceReplLocked(e.Client, e.LSN, e.Recs, payload)
+			return nil
 		})
 		if err != nil {
 			v.mu.Unlock()
@@ -200,6 +207,9 @@ func (s *Server) AttachJournal(opts JournalOptions) (RecoveryInfo, error) {
 		if v.walLSN < watermark {
 			v.walLSN = watermark
 		}
+		// Replayed entries were pushed by the pre-crash process (or will
+		// be pulled by peers); recovery does not re-ship them.
+		v.shippedLSN = v.walLSN
 		v.wal = w
 		v.mu.Unlock()
 		info.Volumes.Records += stats.Records
@@ -252,8 +262,11 @@ func replayBatchLocked(v *volume, e volEntry) error {
 }
 
 // journalBatchLocked frames an applied batch into v's WAL before it
-// commits. Caller holds v.mu. A nil WAL (no journal attached, or a
-// volume created before attach on a legacy path) journals nothing.
+// commits, and advances the volume's replication state. Caller holds
+// v.mu. The frame is built even when no WAL is attached (a nil WAL just
+// skips the Append): the payload bytes are what the chain fingerprint
+// folds over and what peers receive, so an unjournaled server is still a
+// full replica — the LSN sequence IS the replication order.
 //
 // Each WAL payload must be a self-contained gob stream — replay runs a
 // fresh decoder per record — so the encoder is rebuilt per batch; the
@@ -263,18 +276,20 @@ func replayBatchLocked(v *volume, e volEntry) error {
 //
 //codalint:hotpath per-batch journal framing
 func journalBatchLocked(v *volume, client string, recs []cml.Record) error {
-	if v.wal == nil {
-		return nil
-	}
+	lsn := v.walLSN + 1
 	v.encBuf.Reset()
 	//codalint:ignore allocscan gob must box and walk the batch, and each payload needs a fresh encoder to stay self-contained; the buffer underneath is reused
-	if err := gob.NewEncoder(&v.encBuf).Encode(volEntry{LSN: v.walLSN + 1, Client: client, Recs: recs}); err != nil {
+	if err := gob.NewEncoder(&v.encBuf).Encode(volEntry{LSN: lsn, Client: client, Recs: recs}); err != nil {
 		return err
 	}
-	if err := v.wal.Append(v.encBuf.Bytes()); err != nil {
-		return err
+	if v.wal != nil {
+		if err := v.wal.Append(v.encBuf.Bytes()); err != nil {
+			return err
+		}
 	}
-	v.walLSN++
+	v.walLSN = lsn
+	//codalint:ignore allocscan retaining the entry for peer shipping must grow the in-memory log; the records themselves are shared, not copied
+	v.advanceReplLocked(client, lsn, recs, v.encBuf.Bytes())
 	return nil
 }
 
@@ -339,6 +354,7 @@ func (s *Server) Checkpoint() error {
 	for _, v := range vols {
 		vi := v.imageLocked()
 		vi.JournalLSN = v.walLSN
+		vi.ReplChain = v.chain
 		img.Volumes = append(img.Volumes, vi)
 	}
 	//codalint:ignore lockhold checkpoint holds every lock for the duration so the snapshot is exactly consistent with its WAL watermarks

@@ -44,17 +44,30 @@ type authorEntry struct {
 	Who string
 }
 
+// appliedEntry is one row of the reintegration dedup set, sorted by
+// client then sequence in the image. The set is logical volume state —
+// replicas with identical logs hold identical sets — so it appears in
+// every image, keeping SaveState byte-comparable across replicas and
+// keeping retransmits idempotent across a restore.
+type appliedEntry struct {
+	Client string
+	Seq    uint64
+}
+
 // volumeImage is the serialized form of one volume. JournalLSN is the
 // volume WAL watermark: entries at or below it are already reflected in
-// the image, so recovery skips them. Plain SaveState writes zero (the
-// image stands alone); only Checkpoint embeds live watermarks.
+// the image, so recovery skips them. ReplChain is the chain fingerprint
+// at JournalLSN. Plain SaveState writes both as zero (the image stands
+// alone); only Checkpoint embeds live watermarks.
 type volumeImage struct {
 	Info       codafs.VolumeInfo
 	Root       codafs.FID
 	NextVnode  uint64
 	Objects    []objectImage
 	LastAuthor []authorEntry
+	Applied    []appliedEntry
 	JournalLSN uint64
+	ReplChain  uint32
 }
 
 // serverImage is the serialized form of a Server's durable state. MetaLSN
@@ -90,6 +103,15 @@ func (v *volume) imageLocked() volumeImage {
 	}
 	sort.Slice(vi.LastAuthor, func(i, j int) bool {
 		return fidLess(vi.LastAuthor[i].FID, vi.LastAuthor[j].FID)
+	})
+	for k := range v.applied {
+		vi.Applied = append(vi.Applied, appliedEntry{Client: k.client, Seq: k.seq})
+	}
+	sort.Slice(vi.Applied, func(i, j int) bool {
+		if vi.Applied[i].Client != vi.Applied[j].Client {
+			return vi.Applied[i].Client < vi.Applied[j].Client
+		}
+		return vi.Applied[i].Seq < vi.Applied[j].Seq
 	})
 	for _, o := range v.objects {
 		oi := objectImage{Status: o.Status, Target: o.Target}
@@ -176,9 +198,22 @@ func (s *Server) installImage(img serverImage) error {
 			lastAuthor:   make(map[codafs.FID]string, len(vi.LastAuthor)),
 			objCallbacks: make(map[codafs.FID]map[string]bool),
 			volCallbacks: make(map[string]bool),
+			applied:      make(map[appliedKey]bool, len(vi.Applied)),
+			// The image's watermarks anchor the replication state: the
+			// retained log restarts empty at the watermark, and entries
+			// at or below it count as shipped (peers that missed them
+			// pull, they are never re-pushed).
+			walLSN:        vi.JournalLSN,
+			chain:         vi.ReplChain,
+			replBaseLSN:   vi.JournalLSN,
+			replBaseChain: vi.ReplChain,
+			shippedLSN:    vi.JournalLSN,
 		}
 		for _, ae := range vi.LastAuthor {
 			v.lastAuthor[ae.FID] = ae.Who
+		}
+		for _, ae := range vi.Applied {
+			v.applied[appliedKey{client: ae.Client, seq: ae.Seq}] = true
 		}
 		for i := range vi.Objects {
 			oi := vi.Objects[i]

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/cml"
+	"repro/internal/codafs"
+	"repro/internal/rpc2"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+// Log replication (the "replicable state machine" half of the group
+// layer; internal/group assembles servers into groups). The per-volume
+// journal is the replication log: every committed batch is one entry at
+// one LSN, framed by journalBatchLocked whether or not a WAL is
+// attached, and fingerprinted by a cumulative CRC32C (chain) over the
+// exact payload bytes. Because apply is a deterministic function of
+// volume state and the records, replicas that agree on the log agree on
+// everything — stamps, versions, authorship — which is what makes
+// SaveState images byte-identical across a group.
+//
+// Entries move between replicas two ways:
+//
+//   - push: after a commit, the accepting server ships the new suffix
+//     to every peer in LSN order (shipVolume). Best-effort — a dead
+//     peer is skipped, not waited on.
+//   - pull: a lagging replica fetches the missed suffix from a peer
+//     (CatchUp → FetchLog), verifying the chain at its own tail first.
+//     This is what a restarted replica does after WAL replay, and what
+//     a ShipLog receiver triggers on itself when it sees a gap.
+//
+// Duplicates are handled at two layers. Reintegration ingress filters
+// records the volume has already applied, keyed (client, CML sequence
+// number) — that is what makes a failover retransmit idempotent: the
+// batch the client re-ships to a second member after a timeout was
+// usually already pushed there by the first. The LSN/chain gate then
+// makes entry delivery itself idempotent and ordered. A chain mismatch
+// is divergence — possible only for updates never acknowledged to any
+// client — and is surfaced as a loud error, never repaired silently.
+
+// appliedKey identifies one reintegrated CML record for deduplication.
+// Connected-mode records carry sequence 0 and are never tracked; rpc2's
+// reply cache already makes those at-most-once per call.
+type appliedKey struct {
+	client string
+	seq    uint64
+}
+
+// castagnoli is the CRC32C table used for log chain fingerprints (the
+// same polynomial the WAL frames use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// shipCallOpts bounds one ShipLog push attempt; a peer that stays
+// silent is left to catch up on its own.
+var shipCallOpts = rpc2.CallOpts{MaxRetries: 4}
+
+// fetchLogBatch caps entries per FetchLog reply; the puller loops.
+const fetchLogBatch = 128
+
+// Peers returns the configured replica peer addresses.
+func (s *Server) Peers() []string { return append([]string(nil), s.peers...) }
+
+// acquireShip takes the volume's ship token, serializing ship and
+// catch-up rounds; release with releaseShip. Parking happens on a
+// simtime.Queue so a waiter is quiescent under the sim while the holder
+// blocks in peer RPCs.
+func (s *Server) acquireShip(v *volume) {
+	v.mu.Lock()
+	if v.shipTok == nil {
+		v.shipTok = simtime.NewQueue[struct{}](s.clock)
+		v.shipTok.Put(struct{}{})
+	}
+	tok := v.shipTok
+	v.mu.Unlock()
+	_, _ = tok.Get()
+}
+
+// releaseShip returns the ship token taken by acquireShip.
+func (v *volume) releaseShip() { v.shipTok.Put(struct{}{}) }
+
+// advanceReplLocked folds one committed entry into the volume's
+// replication state: the chain fingerprint, the retained log suffix,
+// and the dedup set. Caller holds v.mu and has already advanced
+// v.walLSN to lsn; payload is the entry's journal framing.
+func (v *volume) advanceReplLocked(client string, lsn uint64, recs []cml.Record, payload []byte) {
+	v.chain = crc32.Update(v.chain, castagnoli, payload)
+	v.repl = append(v.repl, wire.LogEntry{LSN: lsn, Chain: v.chain, Client: client, Recs: recs})
+	for i := range recs {
+		if recs[i].Seq != 0 {
+			v.applied[appliedKey{client: client, seq: recs[i].Seq}] = true
+		}
+	}
+}
+
+// isAppliedLocked reports whether the volume has already applied the
+// client's record with the given CML sequence number. Caller holds v.mu.
+func (v *volume) isAppliedLocked(client string, seq uint64) bool {
+	return seq != 0 && v.applied[appliedKey{client: client, seq: seq}]
+}
+
+// chainAtLocked returns the chain fingerprint after lsn, if the volume
+// still knows it (at or after the retained suffix's base). Caller holds
+// v.mu.
+func (v *volume) chainAtLocked(lsn uint64) (uint32, bool) {
+	switch {
+	case lsn == v.replBaseLSN:
+		return v.replBaseChain, true
+	case lsn > v.replBaseLSN && lsn <= v.walLSN:
+		return v.repl[lsn-v.replBaseLSN-1].Chain, true
+	}
+	return 0, false
+}
+
+// shipToPeers pushes v's unshipped log suffix to every peer on a fresh
+// goroutine; the committing client never waits on replication (the
+// same principle as callback breaks). No lock may be held by callers.
+func (s *Server) shipToPeers(v *volume) {
+	if len(s.peers) == 0 {
+		return
+	}
+	s.clock.Go(func() { s.shipVolume(v) })
+}
+
+// shipVolume pushes the pending suffix (shippedLSN, walLSN] to every
+// peer, in LSN order, and loops until no new entries remain. The ship
+// token serializes shippers so concurrent commits cannot interleave
+// entries out of order on the wire; the volume lock is held only to
+// read the suffix. A peer that fails mid-stream is skipped for this
+// round — the push is best-effort, the pull side repairs.
+func (s *Server) shipVolume(v *volume) {
+	s.acquireShip(v)
+	defer v.releaseShip()
+	for {
+		v.mu.Lock()
+		if v.shippedLSN < v.replBaseLSN {
+			// A checkpoint truncated the retained log under us; peers
+			// that missed the gap will pull.
+			v.shippedLSN = v.replBaseLSN
+		}
+		prevChain, _ := v.chainAtLocked(v.shippedLSN)
+		pending := v.repl[v.shippedLSN-v.replBaseLSN:]
+		if len(pending) == 0 {
+			v.mu.Unlock()
+			return
+		}
+		entries := append([]wire.LogEntry(nil), pending...)
+		volID := v.info.ID
+		v.mu.Unlock()
+
+		for _, peer := range s.peers {
+			pc := prevChain
+			for _, e := range entries {
+				rep, err := wire.Call[wire.ShipLogRep](s.node, peer,
+					wire.ShipLog{Volume: volID, PrevChain: pc, Entry: e}, shipCallOpts)
+				if err != nil {
+					break // unreachable or refusing; it will pull later
+				}
+				s.met.replShipped.Inc()
+				if rep.NeedCatchUp {
+					break
+				}
+				pc = e.Chain
+			}
+		}
+		last := entries[len(entries)-1].LSN
+		v.mu.Lock()
+		if v.shippedLSN < last {
+			v.shippedLSN = last
+		}
+		v.mu.Unlock()
+	}
+}
+
+// shipLog handles one pushed log entry from a peer. In-order entries
+// whose chain matches are applied through the same pipeline as live
+// traffic — including journaling and callback breaks, which is how a
+// break reaches clients attached to this member when the write landed
+// on another. Old entries are acknowledged (duplicate push); anything
+// else is a gap, answered with NeedCatchUp while this server pulls the
+// missing suffix from the shipper in the background.
+func (s *Server) shipLog(src string, req wire.ShipLog) (wire.ShipLogRep, error) {
+	v, ok := s.volByID(req.Volume)
+	if !ok {
+		return wire.ShipLogRep{}, fmt.Errorf("no volume %d", req.Volume)
+	}
+	s.observeVolOp(v)
+	e := req.Entry
+	s.lockVolume(v)
+	if e.LSN <= v.walLSN {
+		rep := wire.ShipLogRep{LSN: v.walLSN}
+		v.mu.Unlock()
+		return rep, nil
+	}
+	if e.LSN != v.walLSN+1 || req.PrevChain != v.chain {
+		rep := wire.ShipLogRep{LSN: v.walLSN, NeedCatchUp: true}
+		v.mu.Unlock()
+		s.met.replGaps.Inc()
+		s.clock.Go(func() { _ = s.catchUpVolume(src, req.Volume) })
+		return rep, nil
+	}
+	breaks, err := v.applyEntryLocked(e)
+	rep := wire.ShipLogRep{LSN: v.walLSN}
+	v.mu.Unlock()
+	if err != nil {
+		return wire.ShipLogRep{}, err
+	}
+	s.stats.replApplied.Add(int64(len(e.Recs)))
+	s.met.replApplied.Add(int64(len(e.Recs)))
+	s.dispatchBreaks(breaks)
+	// The entry may need forwarding if this server also has peers the
+	// shipper does not; shipping is idempotent, so just nudge.
+	s.shipToPeers(v)
+	return rep, nil
+}
+
+// applyEntryLocked applies one in-order peer entry: records run through
+// the normal validation/apply pipeline, the entry is journaled with the
+// same framing the shipper used, and the resulting chain must equal the
+// shipper's — a mismatch means the logs are not byte-identical and is
+// surfaced as divergence. Caller holds v.mu; the returned breaks are
+// dispatched after unlock.
+func (v *volume) applyEntryLocked(e wire.LogEntry) ([]breakWork, error) {
+	a := newApply(v)
+	for i := range e.Recs {
+		if res := applyRecord(a, &e.Recs[i], e.Client); !res.OK {
+			return nil, fmt.Errorf("replica diverged: volume %d entry %d record %d (%s) does not apply: %s",
+				v.info.ID, e.LSN, i, e.Recs[i].Kind, res.Msg)
+		}
+	}
+	if err := journalBatchLocked(v, e.Client, e.Recs); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if v.chain != e.Chain {
+		// The entry is journaled but the fingerprint disagrees: the logs
+		// differ somewhere at or before this entry. Nothing silent to do.
+		return nil, fmt.Errorf("replica diverged: volume %d entry %d chain %08x != %08x",
+			v.info.ID, e.LSN, v.chain, e.Chain)
+	}
+	_, _, breaks := commitApply(a, e.Client)
+	return breaks, nil
+}
+
+// fetchLog serves a peer's pull: the retained suffix after AfterLSN, in
+// batches. The caller's chain at AfterLSN must match ours — disagreement
+// is divergence, and a suffix older than the retained base (truncated by
+// a checkpoint) cannot be served by log shipping at all; both come back
+// as errors the puller reports rather than papering over.
+func (s *Server) fetchLog(req wire.FetchLog) (wire.FetchLogRep, error) {
+	v, ok := s.volByID(req.Volume)
+	if !ok {
+		return wire.FetchLogRep{}, fmt.Errorf("no volume %d", req.Volume)
+	}
+	s.lockVolume(v)
+	defer v.mu.Unlock()
+	rep := wire.FetchLogRep{LSN: v.walLSN}
+	if req.AfterLSN >= v.walLSN {
+		return rep, nil // nothing newer here
+	}
+	if req.AfterLSN < v.replBaseLSN {
+		return wire.FetchLogRep{}, fmt.Errorf(
+			"volume %d log truncated at %d (checkpoint); cannot serve suffix after %d",
+			req.Volume, v.replBaseLSN, req.AfterLSN)
+	}
+	chain, _ := v.chainAtLocked(req.AfterLSN)
+	if chain != req.Chain {
+		return wire.FetchLogRep{}, fmt.Errorf(
+			"replica diverged: volume %d chain %08x != %08x at entry %d",
+			req.Volume, chain, req.Chain, req.AfterLSN)
+	}
+	start := req.AfterLSN - v.replBaseLSN
+	end := start + fetchLogBatch
+	if n := uint64(len(v.repl)); end > n {
+		end = n
+	}
+	rep.Entries = append([]wire.LogEntry(nil), v.repl[start:end]...)
+	return rep, nil
+}
+
+// CatchUp pulls every volume's missed log suffix from peer and applies
+// it, leaving this server's state byte-identical to the peer's for all
+// entries the peer holds. It is what a restarted replica runs after WAL
+// replay. Volumes are processed in ascending ID order; an error on any
+// volume aborts (divergence and truncated-log conditions must be seen,
+// not skipped).
+func (s *Server) CatchUp(peer string) error {
+	for _, v := range s.volumesByID() {
+		if err := s.catchUpVolume(peer, v.id()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// catchUpVolume pulls one volume's suffix from peer until this server's
+// log reaches the peer's. The ship token serializes it against pushes
+// we might be making ourselves, so anti-entropy for a volume is
+// single-file.
+func (s *Server) catchUpVolume(peer string, id codafs.VolumeID) error {
+	v, ok := s.volByID(id)
+	if !ok {
+		return fmt.Errorf("server: catch-up: no volume %d", id)
+	}
+	s.acquireShip(v)
+	defer v.releaseShip()
+	for {
+		v.mu.Lock()
+		after := v.walLSN
+		chain := v.chain
+		v.mu.Unlock()
+
+		rep, err := wire.Call[wire.FetchLogRep](s.node, peer,
+			wire.FetchLog{Volume: id, AfterLSN: after, Chain: chain}, rpc2.CallOpts{})
+		if err != nil {
+			return fmt.Errorf("server: catch-up volume %d from %s: %w", id, peer, err)
+		}
+		s.met.catchupRounds.Inc()
+		if len(rep.Entries) == 0 {
+			return nil // caught up (or the peer is the one behind)
+		}
+		var allBreaks []breakWork
+		var recs, bytes int64
+		s.lockVolume(v)
+		for _, e := range rep.Entries {
+			if e.LSN <= v.walLSN {
+				continue // raced with a concurrent push; already have it
+			}
+			if e.LSN != v.walLSN+1 {
+				v.mu.Unlock()
+				return fmt.Errorf("server: catch-up volume %d: entry gap at %d (have %d)", id, e.LSN, v.walLSN)
+			}
+			breaks, err := v.applyEntryLocked(e)
+			if err != nil {
+				v.mu.Unlock()
+				return fmt.Errorf("server: catch-up volume %d: %w", id, err)
+			}
+			allBreaks = append(allBreaks, breaks...)
+			recs += int64(len(e.Recs))
+			bytes += int64(len(v.encBuf.Bytes()))
+			// Entries arriving by catch-up are as shipped as pushed ones.
+			if v.shippedLSN < e.LSN {
+				v.shippedLSN = e.LSN
+			}
+		}
+		caughtUp := v.walLSN >= rep.LSN
+		v.mu.Unlock()
+		s.stats.catchupRecords.Add(recs)
+		s.met.catchupRecs.Add(recs)
+		s.met.catchupBytes.Add(bytes)
+		s.dispatchBreaks(allBreaks)
+		if caughtUp {
+			return nil
+		}
+	}
+}
+
+// VolumeLSN reports a volume's current log position and chain
+// fingerprint — what the group layer's replica-lag gauges read.
+func (s *Server) VolumeLSN(name string) (lsn uint64, chain uint32, err error) {
+	v, ok := s.volByName(name)
+	if !ok {
+		return 0, 0, fmt.Errorf("server: no volume %q", name)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.walLSN, v.chain, nil
+}
+
+// VolumePosition is one volume's replication log position.
+type VolumePosition struct {
+	ID    codafs.VolumeID
+	Name  string
+	LSN   uint64
+	Chain uint32
+}
+
+// VolumePositions reports every volume's log position in ascending ID
+// order.
+func (s *Server) VolumePositions() []VolumePosition {
+	vols := s.volumesByID()
+	out := make([]VolumePosition, 0, len(vols))
+	for _, v := range vols {
+		v.mu.Lock()
+		out = append(out, VolumePosition{ID: v.info.ID, Name: v.info.Name, LSN: v.walLSN, Chain: v.chain})
+		v.mu.Unlock()
+	}
+	return out
+}

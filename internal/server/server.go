@@ -73,6 +73,11 @@ type Server struct {
 	stopped chan struct{} // closed by Close; stops the maintenance sweep
 	closer  sync.Once
 
+	// peers are the replica group members this server pushes committed
+	// log entries to (ShipLog) and pulls missed suffixes from (FetchLog).
+	// Immutable after New; empty means unreplicated.
+	peers []string
+
 	// mu guards the volume registry — the maps locating a volume domain
 	// and the ID allocator — and nothing inside the domains themselves.
 	// Lock order: mu before any volume.mu; never acquire mu while holding
@@ -104,6 +109,9 @@ type counters struct {
 	recordsApplied     atomic.Int64
 	conflicts          atomic.Int64
 	breaksSent         atomic.Int64
+	duplicatesDropped  atomic.Int64
+	replApplied        atomic.Int64
+	catchupRecords     atomic.Int64
 }
 
 // Stats counts server activity, for tests and experiments.
@@ -114,6 +122,13 @@ type Stats struct {
 	RecordsApplied     int64
 	Conflicts          int64
 	BreaksSent         int64
+	// DuplicatesDropped counts reintegrated records filtered by the
+	// (client, sequence-number) dedup set — retransmits after failover.
+	DuplicatesDropped int64
+	// ReplApplied counts records applied from peer-shipped log entries.
+	ReplApplied int64
+	// CatchupRecords counts records pulled from a peer via FetchLog.
+	CatchupRecords int64
 }
 
 // smetrics holds the server's pre-registered obs handles; all nil (and
@@ -127,6 +142,14 @@ type smetrics struct {
 	conflicts      *obs.Counter
 	breaks         *obs.Counter
 	lockWait       *obs.Histogram
+
+	replShipped   *obs.Counter // log entries pushed to peers
+	replApplied   *obs.Counter // records applied from peer-shipped entries
+	replDups      *obs.Counter // reintegrated records dropped as duplicates
+	replGaps      *obs.Counter // shipped entries refused pending catch-up
+	catchupRecs   *obs.Counter // records pulled via FetchLog
+	catchupBytes  *obs.Counter // journal-payload bytes pulled via FetchLog
+	catchupRounds *obs.Counter // FetchLog round trips issued
 }
 
 // lockWaitBucketsUS buckets volume-lock acquisition waits (microseconds).
@@ -149,6 +172,14 @@ func (s *Server) initMetrics(addr string) {
 		conflicts:      s.obs.Counter("server_conflicts_total", node),
 		breaks:         s.obs.Counter("server_callback_breaks_total", node),
 		lockWait:       s.obs.Histogram("server_lock_wait_us", lockWaitBucketsUS, node),
+
+		replShipped:   s.obs.Counter("server_repl_shipped_entries_total", node),
+		replApplied:   s.obs.Counter("server_repl_applied_records_total", node),
+		replDups:      s.obs.Counter("server_repl_duplicate_records_total", node),
+		replGaps:      s.obs.Counter("server_repl_gaps_total", node),
+		catchupRecs:   s.obs.Counter("server_catchup_records_total", node),
+		catchupBytes:  s.obs.Counter("server_catchup_bytes_total", node),
+		catchupRounds: s.obs.Counter("server_catchup_rounds_total", node),
 	}
 	s.obs.GaugeFunc("server_clients_connected", func() int64 { return int64(s.ClientCount()) }, node)
 	s.obs.GaugeFunc("server_fragment_buffers", func() int64 { return int64(s.FragmentCount()) }, node)
@@ -197,14 +228,37 @@ type volume struct {
 	volCallbacks map[string]bool
 
 	// wal journals this volume's applied mutation batches; walLSN is the
-	// last framed entry. Both nil/zero until the server journal attaches
-	// (see journal.go). Guarded by mu like everything else here.
+	// last framed entry (it advances with or without a WAL attached: the
+	// LSN sequence is also the replication order). Guarded by mu.
 	wal    *wal.WAL
 	walLSN uint64
 	// encBuf is the gob scratch buffer journalBatchLocked reuses across
 	// appends; mu serializes them, and the WAL copies the payload into
 	// its own frame before Append returns.
 	encBuf bytes.Buffer
+
+	// Replication state (see repl.go), guarded by mu. chain is the
+	// cumulative CRC32C over the exact journal payload bytes through
+	// walLSN — replicas with equal chains at equal LSNs hold
+	// byte-identical logs. repl retains the log suffix after
+	// (replBaseLSN, replBaseChain) — the last checkpoint watermark — for
+	// ShipLog pushes and FetchLog pulls. applied is the (client, CML
+	// sequence) dedup set that makes failover retransmits idempotent.
+	chain         uint32
+	replBaseLSN   uint64
+	replBaseChain uint32
+	repl          []wire.LogEntry
+	applied       map[appliedKey]bool
+
+	// shippedLSN is the last entry pushed to peers. shipTok is a
+	// one-token queue serializing ship/catch-up rounds so entries leave
+	// in LSN order; it is a simtime.Queue rather than a mutex because
+	// the holder blocks in peer RPCs, and a goroutine parked on a bare
+	// mutex is invisible to the sim scheduler and would stall virtual
+	// time. Lazily created (needs the clock); guarded by mu. Order:
+	// token before mu (the holder takes mu only briefly).
+	shippedLSN uint64
+	shipTok    *simtime.Queue[struct{}]
 }
 
 type fragKey struct {
@@ -225,6 +279,13 @@ type Option func(*Server)
 // node) registers metrics with.
 func WithObs(reg *obs.Registry) Option {
 	return func(s *Server) { s.obs = reg }
+}
+
+// WithPeers names the replica group members this server replicates to.
+// Every committed log entry is pushed to each peer (ShipLog), and a
+// restarted server pulls missed suffixes back from them (CatchUp).
+func WithPeers(addrs ...string) Option {
+	return func(s *Server) { s.peers = append([]string(nil), addrs...) }
 }
 
 // New creates a server listening on conn.
@@ -261,6 +322,9 @@ func (s *Server) Stats() Stats {
 		RecordsApplied:     s.stats.recordsApplied.Load(),
 		Conflicts:          s.stats.conflicts.Load(),
 		BreaksSent:         s.stats.breaksSent.Load(),
+		DuplicatesDropped:  s.stats.duplicatesDropped.Load(),
+		ReplApplied:        s.stats.replApplied.Load(),
+		CatchupRecords:     s.stats.catchupRecords.Load(),
 	}
 }
 
@@ -388,6 +452,7 @@ func newVolume(id codafs.VolumeID, name string, modTime time.Time) *volume {
 		lastAuthor:   make(map[codafs.FID]string),
 		objCallbacks: make(map[codafs.FID]map[string]bool),
 		volCallbacks: make(map[string]bool),
+		applied:      make(map[appliedKey]bool),
 	}
 	root := codafs.FID{Volume: id, Vnode: 1, Unique: 1}
 	v.root = root

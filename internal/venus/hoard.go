@@ -186,7 +186,7 @@ func (v *Venus) revalidateSuspects() {
 		}
 		v.mu.Unlock()
 
-		rep, err := wire.Call[wire.ValidateObjectsRep](v.node, v.cfg.Server, req, rpc2.CallOpts{})
+		rep, err := callAny[wire.ValidateObjectsRep](v, req, rpc2.CallOpts{})
 		if err != nil {
 			return // validated lazily on demand instead
 		}
@@ -282,7 +282,7 @@ func (v *Venus) addCandidate(cands *[]walkCand, seen map[codafs.FID]bool, vc *vc
 		return // contents already cached (or locally newer)
 	}
 	size := f.obj.Status.Length
-	cost := v.estimateCost(size) + v.costPenaltyLocked(size)
+	cost := v.costVia(v.cfg.Servers[vc.pref], size) + v.costPenaltyLocked(size)
 	tau := v.cfg.Patience.Threshold(pri)
 	*cands = append(*cands, walkCand{
 		vc:  vc,
@@ -310,7 +310,7 @@ func (v *Venus) fetchForHoard(vc *vclient, fid codafs.FID, pri int) {
 		size = f.obj.Status.Length
 	}
 	v.mu.Unlock()
-	if _, err := v.fetchSingleFlight(fid, size); err != nil {
+	if _, err := v.fetchSingleFlight(vc, fid, size); err != nil {
 		return
 	}
 	v.mu.Lock()
@@ -331,7 +331,7 @@ func (v *Venus) acquireVolumeStamps() {
 	vols := v.volumeList()
 	v.mu.Unlock()
 	for _, vc := range vols {
-		rep, err := wire.Call[wire.GetVolumeStampRep](v.node, v.cfg.Server,
+		rep, err := callVol[wire.GetVolumeStampRep](v, vc,
 			wire.GetVolumeStamp{Volume: vc.info.ID}, rpc2.CallOpts{})
 		if err != nil {
 			continue

@@ -69,6 +69,8 @@ type vmetrics struct {
 
 	reintegrations *obs.Counter
 	reintegFails   *obs.Counter
+	failovers      *obs.Counter
+	failoverWait   *obs.Counter
 	shippedBytes   *obs.Counter
 	shippedRecords *obs.Counter
 	deltaStores    *obs.Counter
@@ -124,6 +126,8 @@ func newVMetrics(reg *obs.Registry, v *Venus, addr string) *vmetrics {
 
 	m.reintegrations = reg.Counter("venus_reintegrations_total", client)
 	m.reintegFails = reg.Counter("venus_reintegration_failures_total", client)
+	m.failovers = reg.Counter("venus_failovers_total", client)
+	m.failoverWait = reg.Counter("venus_failover_wait_us_total", client)
 	m.shippedBytes = reg.Counter("venus_shipped_bytes_total", client)
 	m.shippedRecords = reg.Counter("venus_shipped_records_total", client)
 	m.deltaStores = reg.Counter("venus_delta_stores_total", client)

@@ -90,15 +90,22 @@ func (v *Venus) resolveParent(path string) (*vclient, *fso, string, error) {
 
 // ---- Miss handling (§4.4.1) ----
 
-// estimateCost predicts the service time for fetching size bytes at the
-// current bandwidth estimate.
-func (v *Venus) estimateCost(size int64) time.Duration {
-	bw := v.peer.Bandwidth()
+// estimateCost predicts the service time for fetching size bytes from
+// the volume's preferred member at the current bandwidth estimate.
+func (v *Venus) estimateCost(vc *vclient, size int64) time.Duration {
+	return v.costVia(v.prefAddr(vc), size)
+}
+
+// costVia predicts the service time for fetching size bytes over the
+// link to one member. Safe to call with v.mu held (addCandidate does).
+func (v *Venus) costVia(addr string, size int64) time.Duration {
+	peer := v.peerOf(addr)
+	bw := peer.Bandwidth()
 	if bw <= 0 {
 		return 0 // no estimate yet: be optimistic
 	}
 	xfer := time.Duration(float64(size*8) / float64(bw) * float64(time.Second))
-	return xfer + v.peer.SRTT() // one request/response round trip
+	return xfer + peer.SRTT() // one request/response round trip
 }
 
 // priorityOf returns the hoard priority governing path's patience
@@ -177,7 +184,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 	// with the GetAttr.
 	var size int64 = -1
 	if f != nil && !f.valid {
-		ga, err := wire.Call[wire.GetAttrRep](v.node, v.cfg.Server, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
+		ga, err := callVol[wire.GetAttrRep](v, vc, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
 		if err != nil {
 			return nil, v.rpcFailed(path, err)
 		}
@@ -205,7 +212,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 	// Unknown object: obtain status first — it is only ~100 bytes, so
 	// the delay is acceptable even on slow networks (§4.4.1).
 	if f == nil {
-		ga, err := wire.Call[wire.GetAttrRep](v.node, v.cfg.Server, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
+		ga, err := callVol[wire.GetAttrRep](v, vc, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
 		if err != nil {
 			return nil, v.rpcFailed(path, err)
 		}
@@ -239,7 +246,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 	// Monetary network cost is folded in as patience-equivalent seconds
 	// (cost-aware adaptation, paper §8 future work).
 	if state == WriteDisconnected {
-		cost := v.estimateCost(size) + v.costPenalty(size)
+		cost := v.estimateCost(vc, size) + v.costPenalty(size)
 		pri := v.priorityOf(path)
 		tau := v.cfg.Patience.Threshold(pri)
 		if cost > tau {
@@ -256,7 +263,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 		}
 	}
 
-	f, err := v.fetchSingleFlight(fid, size)
+	f, err := v.fetchSingleFlight(vc, fid, size)
 	if err != nil {
 		return nil, v.rpcFailed(path, err)
 	}
@@ -273,7 +280,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 // fetches of the same object (a hoard walk and a foreground miss must not
 // compete for a slow link over the same bytes). The timeout adapts to the
 // object's size at the current bandwidth.
-func (v *Venus) fetchSingleFlight(fid codafs.FID, size int64) (*fso, error) {
+func (v *Venus) fetchSingleFlight(vc *vclient, fid codafs.FID, size int64) (*fso, error) {
 	for {
 		v.mu.Lock()
 		if f := v.cache.get(fid); f != nil && !f.placeholder && f.valid {
@@ -299,8 +306,8 @@ func (v *Venus) fetchSingleFlight(fid codafs.FID, size int64) (*fso, error) {
 		v.mu.Unlock()
 	}()
 
-	timeout := 2*v.estimateCost(size) + 2*time.Minute
-	rep, err := wire.Call[wire.FetchRep](v.node, v.cfg.Server,
+	timeout := 2*v.estimateCost(vc, size) + 2*time.Minute
+	rep, err := callVol[wire.FetchRep](v, vc,
 		wire.Fetch{FID: fid, WantCallback: true}, rpc2.CallOpts{Timeout: timeout})
 	if err != nil {
 		return nil, err
@@ -489,7 +496,7 @@ func (v *Venus) WriteFile(path string, data []byte) error {
 	v.mu.Unlock()
 
 	if state == Hoarding {
-		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.StoreOp{
+		rep, err := callVol[wire.MutateRep](v, vc, wire.StoreOp{
 			FID: fid, Data: data, PrevVersion: prevVersion,
 		}, rpc2.CallOpts{Timeout: 10 * time.Minute})
 		if err == nil {
@@ -573,7 +580,7 @@ func (v *Venus) makeObject(vc *vclient, parent *fso, name string, typ codafs.Obj
 	v.mu.Unlock()
 
 	if state == Hoarding {
-		rep, err := wire.Call[wire.MakeObjectRep](v.node, v.cfg.Server, wire.MakeObject{
+		rep, err := callVol[wire.MakeObjectRep](v, vc, wire.MakeObject{
 			Parent: parentFID, Name: name, FID: fid, Type: typ, Target: target, Owner: v.owner(),
 		}, rpc2.CallOpts{})
 		if err == nil {
@@ -670,7 +677,7 @@ func (v *Venus) removeCommon(path string, rmdir bool) error {
 	v.mu.Unlock()
 
 	if state == Hoarding {
-		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.RemoveOp{
+		rep, err := callVol[wire.MutateRep](v, vc, wire.RemoveOp{
 			Parent: parentFID, Name: name, FID: fid, Rmdir: rmdir,
 		}, rpc2.CallOpts{})
 		if err == nil {
@@ -752,7 +759,7 @@ func (v *Venus) Rename(oldPath, newPath string) error {
 	}
 
 	if state == Hoarding {
-		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.RenameOp{
+		rep, err := callVol[wire.MutateRep](v, vcOld, wire.RenameOp{
 			Parent: oldPFID, Name: oldName, NewParent: newPFID, NewName: newName, FID: fid,
 		}, rpc2.CallOpts{})
 		if err == nil {
@@ -820,7 +827,7 @@ func (v *Venus) Link(existingPath, newPath string) error {
 	}
 
 	if state == Hoarding {
-		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.LinkOp{
+		rep, err := callVol[wire.MutateRep](v, vcT, wire.LinkOp{
 			Parent: parentFID, Name: name, FID: fid,
 		}, rpc2.CallOpts{})
 		if err == nil {
@@ -863,7 +870,7 @@ func (v *Venus) SetAttr(path string, mode uint32) error {
 	v.mu.Unlock()
 
 	if state == Hoarding {
-		rep, err := wire.Call[wire.MutateRep](v.node, v.cfg.Server, wire.SetAttrOp{
+		rep, err := callVol[wire.MutateRep](v, vc, wire.SetAttrOp{
 			FID: fid, Mode: mode, ModTime: v.clock.Now(), PrevVersion: prev,
 		}, rpc2.CallOpts{})
 		if err == nil {

@@ -62,7 +62,9 @@ func (v *Venus) Disconnect() {
 // connectivity is strong and the CML has drained (Figure 2).
 func (v *Venus) Connect(bandwidthHint int64) {
 	if bandwidthHint > 0 {
-		v.peer.SetBandwidth(bandwidthHint)
+		for _, addr := range v.cfg.Servers {
+			v.peerOf(addr).SetBandwidth(bandwidthHint)
+		}
 	}
 	v.transition(WriteDisconnected, "reconnected")
 }
@@ -86,7 +88,7 @@ func (v *Venus) maybePromote() {
 		v.mu.Unlock()
 		return
 	}
-	strong := v.peer.Bandwidth() >= v.cfg.StrongThreshold
+	strong := v.linkBandwidth() >= v.cfg.StrongThreshold
 	empty := true
 	for _, vc := range v.volumes {
 		if vc.log.Len() > 0 {
@@ -109,26 +111,35 @@ func (v *Venus) maybeDemote() {
 	if !demote {
 		return
 	}
-	bw := v.peer.Bandwidth()
+	bw := v.linkBandwidth()
 	if bw > 0 && bw < v.cfg.StrongThreshold {
 		v.transition(WriteDisconnected, "bandwidth below strong threshold")
 	}
 }
 
 // validateOnReconnect performs rapid cache validation (§4.2): all cached
-// volume stamps are presented in a single batched RPC; every object in a
-// volume whose stamp is still valid is thereby validated at once, and a
-// fresh volume callback comes as a side effect. Objects in volumes with
-// missing or stale stamps become suspect and are validated individually on
-// demand or at the next hoard walk.
+// volume stamps are presented in batched RPCs; every object in a volume
+// whose stamp is still valid is thereby validated at once, and a fresh
+// volume callback comes as a side effect. Objects in volumes with missing
+// or stale stamps become suspect and are validated individually on demand
+// or at the next hoard walk.
+//
+// With a group, each volume's stamp is validated against the member the
+// stamp came from (its preferred member): volumes are batched by
+// preference, one RPC per distinct member. A member that lags its peers
+// would reject a stamp another member issued even though the client's
+// cache is good; asking the issuer avoids that false suspicion.
 func (v *Venus) validateOnReconnect() {
 	v.mu.Lock()
 	type batchEntry struct {
 		vc   *vclient
 		objs int
 	}
-	var pairs []wire.VolStampPair
-	var entries []batchEntry
+	type memberBatch struct {
+		pairs   []wire.VolStampPair
+		entries []batchEntry
+	}
+	batches := make(map[int]*memberBatch)
 	for _, vc := range v.volumes {
 		cached := v.cache.inVolume(vc.info.ID)
 		if v.cfg.DisableVolumeCallbacks || !vc.hasStamp {
@@ -143,58 +154,62 @@ func (v *Venus) validateOnReconnect() {
 			}
 			continue
 		}
-		pairs = append(pairs, wire.VolStampPair{ID: vc.info.ID, Stamp: vc.stamp})
-		entries = append(entries, batchEntry{vc: vc, objs: len(cached)})
+		b := batches[vc.pref]
+		if b == nil {
+			b = &memberBatch{}
+			batches[vc.pref] = b
+		}
+		b.pairs = append(b.pairs, wire.VolStampPair{ID: vc.info.ID, Stamp: vc.stamp})
+		b.entries = append(b.entries, batchEntry{vc: vc, objs: len(cached)})
 	}
 	v.mu.Unlock()
 
-	if len(pairs) == 0 {
-		return
-	}
-	rep, err := wire.Call[wire.ValidateVolumesRep](v.node, v.cfg.Server,
-		wire.ValidateVolumes{Volumes: pairs}, rpc2.CallOpts{})
-	if err != nil {
-		// Validation will be retried on the next reconnection; treat
-		// everything as suspect meanwhile.
+	for _, b := range batches {
+		rep, err := callVol[wire.ValidateVolumesRep](v, b.entries[0].vc,
+			wire.ValidateVolumes{Volumes: b.pairs}, rpc2.CallOpts{})
+		if err != nil {
+			// Validation will be retried on the next reconnection; treat
+			// this batch as suspect meanwhile.
+			v.mu.Lock()
+			for _, e := range b.entries {
+				e.vc.hasStamp = false
+				for _, f := range v.cache.inVolume(e.vc.info.ID) {
+					if !f.dirty {
+						f.valid = false
+					}
+				}
+			}
+			v.mu.Unlock()
+			continue
+		}
+
 		v.mu.Lock()
-		for _, e := range entries {
-			e.vc.hasStamp = false
-			for _, f := range v.cache.inVolume(e.vc.info.ID) {
-				if !f.dirty {
-					f.valid = false
+		for i, e := range b.entries {
+			v.stats.VolValidations++
+			v.met.volValidations.Inc()
+			if rep.Valid[i] {
+				v.stats.VolValidationsOK++
+				v.stats.ObjsSavedByVolume += int64(e.objs)
+				v.met.volValidationsOK.Inc()
+				v.met.objsSaved.Add(int64(e.objs))
+				// Volume callback reacquired as a side effect; every
+				// cached object from the volume is revalidated at once.
+				for _, f := range v.cache.inVolume(e.vc.info.ID) {
+					if !f.dirty {
+						f.valid = true
+					}
+				}
+			} else {
+				e.vc.hasStamp = false
+				for _, f := range v.cache.inVolume(e.vc.info.ID) {
+					if !f.dirty {
+						f.valid = false
+					}
 				}
 			}
 		}
 		v.mu.Unlock()
-		return
 	}
-
-	v.mu.Lock()
-	for i, e := range entries {
-		v.stats.VolValidations++
-		v.met.volValidations.Inc()
-		if rep.Valid[i] {
-			v.stats.VolValidationsOK++
-			v.stats.ObjsSavedByVolume += int64(e.objs)
-			v.met.volValidationsOK.Inc()
-			v.met.objsSaved.Add(int64(e.objs))
-			// Volume callback reacquired as a side effect; every
-			// cached object from the volume is revalidated at once.
-			for _, f := range v.cache.inVolume(e.vc.info.ID) {
-				if !f.dirty {
-					f.valid = true
-				}
-			}
-		} else {
-			e.vc.hasStamp = false
-			for _, f := range v.cache.inVolume(e.vc.info.ID) {
-				if !f.dirty {
-					f.valid = false
-				}
-			}
-		}
-	}
-	v.mu.Unlock()
 }
 
 // handleServerCall services calls from the server — callback breaks.

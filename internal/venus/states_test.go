@@ -67,7 +67,7 @@ func TestFigure2Transitions(t *testing.T) {
 			w.sim.Sleep(20 * time.Second)
 		}
 		if v.State() != venus.WriteDisconnected {
-			t.Fatalf("no demotion on modem link: %v (bw %d)", v.State(), v.ServerPeer().Bandwidth())
+			t.Fatalf("no demotion on modem link: %v (bw %d)", v.State(), v.LinkBandwidth())
 		}
 
 		st := v.Stats()

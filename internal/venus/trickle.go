@@ -7,9 +7,7 @@ import (
 	"repro/internal/cml"
 	"repro/internal/codafs"
 	"repro/internal/delta"
-	"repro/internal/rpc2"
 	"repro/internal/simtime"
-	"repro/internal/wire"
 )
 
 // trickleDaemon supervises the state machine on the trickle cadence:
@@ -56,7 +54,7 @@ func (v *Venus) volumeTrickleLoop(vc *vclient) {
 // data that occupies the network for about ChunkSeconds (§4.3.5 — 36 KB at
 // 9.6 Kb/s, 240 KB at 64 Kb/s, 7.7 MB at 2 Mb/s).
 func (v *Venus) chunkSize() int64 {
-	bw := v.peer.Bandwidth()
+	bw := v.linkBandwidth()
 	if bw <= 0 {
 		return 64 << 10
 	}
@@ -115,25 +113,18 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 	}
 
 	// A chunk larger than C can only be a single store of a large file;
-	// ship its data as a series of resumable fragments of size ≤ C
-	// before the reintegration proper (§4.3.5).
-	var fragments map[int]uint64
+	// its data is pre-shipped as a series of resumable fragments of size
+	// ≤ C before the reintegration proper (§4.3.5). Fragment buffers are
+	// per-member state, so the ship happens inside reintegrateCall —
+	// re-done against each member a failover lands on.
+	var fragData []byte
 	if deltas == nil && len(recs) == 1 && recs[0].Kind == cml.Store && recs[0].Size() > c {
-		id := v.allocXfer()
-		data := recs[0].Data
-		//codalint:ignore lockhold drainMu is a work lock serializing whole-drain attempts per volume by design; RPCs are issued holding only drainMu, never Venus.mu
-		if !v.shipFragments(id, data, c) {
-			vc.log.AbortReintegration()
-			v.bumpFailure()
-			return false
-		}
+		fragData = recs[0].Data
 		recs[0].Data = nil
-		fragments = map[int]uint64{0: id}
 	}
 
-	rep, err := wire.Call[wire.ReintegrateRep](v.node, v.cfg.Server, wire.Reintegrate{
-		Volume: vc.info.ID, Records: recs, Fragments: fragments, Deltas: deltas,
-	}, rpc2.CallOpts{Timeout: 30 * time.Minute})
+	//codalint:ignore lockhold drainMu is a work lock serializing whole-drain attempts per volume by design; RPCs are issued holding only drainMu, never Venus.mu
+	rep, err := v.reintegrateCall(vc, recs, deltas, fragData, c)
 	if err != nil {
 		// Network or server failure: remove the barrier; every record
 		// is again eligible for optimization until the retry (§4.3.3).
@@ -238,32 +229,6 @@ func (v *Venus) bumpFailure() {
 	v.mu.Unlock()
 }
 
-// shipFragments sends data as fragments of at most fragSize bytes,
-// resuming from wherever the server says it already has contiguous data.
-func (v *Venus) shipFragments(id uint64, data []byte, fragSize int64) bool {
-	total := int64(len(data))
-	var offset int64
-	for offset < total {
-		end := offset + fragSize
-		if end > total {
-			end = total
-		}
-		rep, err := wire.Call[wire.PutFragmentRep](v.node, v.cfg.Server, wire.PutFragment{
-			Transfer: id, Offset: offset, Total: total, Data: data[offset:end],
-		}, rpc2.CallOpts{Timeout: 30 * time.Minute})
-		if err != nil {
-			return false
-		}
-		offset = rep.Received
-		// Yield between fragments so a foreground fetch is not starved
-		// for more than one fragment's worth of time.
-		if v.foregroundBusy() {
-			v.clock.Sleep(time.Second)
-		}
-	}
-	return true
-}
-
 // clearDrainedDirtyLocked clears dirty flags for objects no CML record
 // references any more.
 func (v *Venus) clearDrainedDirtyLocked(shipped []*cml.Record) {
@@ -356,9 +321,8 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 		recs[i] = *r
 		seqs[r.Seq] = true
 	}
-	rep, err := wire.Call[wire.ReintegrateRep](v.node, v.cfg.Server, wire.Reintegrate{
-		Volume: vc.info.ID, Records: recs,
-	}, rpc2.CallOpts{Timeout: 30 * time.Minute})
+	//codalint:ignore lockhold drainMu is a work lock serializing whole-drain attempts per volume by design; RPCs are issued holding only drainMu, never Venus.mu
+	rep, err := v.reintegrateCall(vc, recs, nil, nil, 0)
 	if err != nil {
 		vc.log.AbortReintegration()
 		v.bumpFailure()

@@ -66,7 +66,14 @@ func (s State) String() string {
 
 // Config parameterizes a Venus. Zero values select the paper's defaults.
 type Config struct {
-	// Server is the file server's address.
+	// Servers lists the replicated server group (AVSG) members holding
+	// this client's volumes, in the group's canonical order — the same
+	// order on every client, so per-volume member preferences agree.
+	// Venus fails over between members on RPC timeout and accepts
+	// callback breaks from any of them.
+	Servers []string
+	// Server is shorthand for a single-member Servers list; ignored when
+	// Servers is set.
 	Server string
 	// ClientID distinguishes this client's FID allocations; must be
 	// unique among clients of the same server.
@@ -125,6 +132,9 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() {
+	if len(c.Servers) == 0 && c.Server != "" {
+		c.Servers = []string{c.Server}
+	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 50 << 20
 	}
@@ -154,7 +164,6 @@ type Venus struct {
 	clock simtime.Clock
 	cfg   Config
 	node  *rpc2.Node
-	peer  *netmon.Peer
 	met   *vmetrics
 
 	mu         sync.Mutex
@@ -189,6 +198,11 @@ type vclient struct {
 	stamp    uint64 // cached volume version stamp
 	hasStamp bool   // whether stamp is usable (volume callback held)
 	log      *cml.Log
+	// pref indexes Config.Servers: the group member this volume's RPCs
+	// currently target (guarded by Venus.mu). Seeded from the volume ID
+	// so all clients of a volume converge on the same member; advanced
+	// past a member when a call to it times out (see avsg.go).
+	pref int
 
 	// drainMu serializes reintegration attempts against this volume's CML
 	// (its trickle loop vs. the Force* paths), so concurrent drains of
@@ -230,11 +244,16 @@ type Stats struct {
 	DeltaStores     int64 // stores shipped as differences
 	DeltaSavedBytes int64 // full-content bytes avoided by deltas
 
+	// Group failover: abandoned member attempts (timeouts on generic
+	// calls, any error on reintegration).
+	Failovers int64
+
 	// State transitions.
 	Transitions map[string]int64
 }
 
-// New creates a Venus on conn talking to cfg.Server and starts its daemons.
+// New creates a Venus on conn talking to the cfg.Servers group and starts
+// its daemons.
 func New(clock simtime.Clock, conn netsim.PacketConn, cfg Config) *Venus {
 	cfg.fillDefaults()
 	v := &Venus{
@@ -254,7 +273,11 @@ func New(clock simtime.Clock, conn netsim.PacketConn, cfg Config) *Venus {
 	// dispatched the instant the loop is up.
 	v.met = newVMetrics(cfg.Obs, v, conn.LocalAddr())
 	v.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), v.handleServerCall, cfg.Obs)
-	v.peer = v.node.Monitor().Peer(cfg.Server)
+	// Register every group member with the monitor up front, so gauges
+	// and liveness cover members this client has not yet called.
+	for _, addr := range v.cfg.Servers {
+		v.node.Monitor().Peer(addr)
+	}
 	clock.Go(v.trickleDaemon)
 	clock.Go(v.hoardDaemon)
 	if cfg.ProbeInterval > 0 {
@@ -307,12 +330,6 @@ func (v *Venus) CacheStats() CacheStats {
 		Objects:        v.cache.count(),
 	}
 }
-
-// ServerPeer returns the transport's view of the server link — bandwidth
-// estimate, smoothed RTT, and RTO (§4.1). Callers read the transport's
-// numbers directly rather than through bespoke Venus accessors; the same
-// figures are exported as netmon gauges when a registry is injected.
-func (v *Venus) ServerPeer() *netmon.Peer { return v.peer }
 
 // CMLBytes returns the total bytes awaiting reintegration across volumes.
 func (v *Venus) CMLBytes() int64 {
@@ -391,17 +408,34 @@ func (v *Venus) volumeList() []*vclient {
 
 // Mount attaches the named volume, fetching its description and root.
 func (v *Venus) Mount(volume string) error {
-	rep, err := wire.Call[wire.GetVolumeRep](v.node, v.cfg.Server, wire.GetVolume{Name: volume}, rpc2.CallOpts{})
+	if len(v.cfg.Servers) == 0 {
+		return fmt.Errorf("venus: mount %s: no servers configured", volume)
+	}
+	rep, err := callAny[wire.GetVolumeRep](v, wire.GetVolume{Name: volume}, rpc2.CallOpts{})
 	if err != nil {
 		return fmt.Errorf("venus: mount %s: %w", volume, err)
 	}
-	// Register for callback breaks.
-	if _, err := wire.Call[wire.ConnectClientRep](v.node, v.cfg.Server, wire.ConnectClient{}, rpc2.CallOpts{}); err != nil {
-		return fmt.Errorf("venus: mount %s: connect: %w", volume, err)
+	// Register for callback breaks with every member: any of them may be
+	// the one that applies an update (live, or shipped from a peer) and
+	// dispatches the break. A member that is down right now registers
+	// this client when it is next called.
+	connected := 0
+	var connectErr error
+	for _, addr := range v.cfg.Servers {
+		if _, err := wire.Call[wire.ConnectClientRep](v.node, addr, wire.ConnectClient{}, rpc2.CallOpts{}); err != nil {
+			connectErr = err
+			continue
+		}
+		connected++
 	}
+	if connected == 0 {
+		return fmt.Errorf("venus: mount %s: connect: %w", volume, connectErr)
+	}
+	vc := &vclient{info: rep.Info, root: rep.Root.FID, log: cml.NewLog(),
+		pref: v.defaultPref(uint64(rep.Info.ID))}
 	// Fetch the root directory's entries eagerly: every resolution
 	// starts there, and it is small.
-	rootRep, err := wire.Call[wire.FetchRep](v.node, v.cfg.Server, wire.Fetch{FID: rep.Root.FID, WantCallback: true}, rpc2.CallOpts{})
+	rootRep, err := callVol[wire.FetchRep](v, vc, wire.Fetch{FID: rep.Root.FID, WantCallback: true}, rpc2.CallOpts{})
 	if err != nil {
 		return fmt.Errorf("venus: mount %s: root fetch: %w", volume, err)
 	}
@@ -410,7 +444,6 @@ func (v *Venus) Mount(volume string) error {
 		v.mu.Unlock()
 		return nil
 	}
-	vc := &vclient{info: rep.Info, root: rep.Root.FID, log: cml.NewLog()}
 	if v.cfg.DisableLogOptimize {
 		vc.log.SetOptimize(false)
 	}

@@ -661,7 +661,7 @@ func TestDemotionOnWeakBandwidth(t *testing.T) {
 		}
 		w.sim.Sleep(30 * time.Second)
 		if v.State() != venus.WriteDisconnected {
-			t.Errorf("state = %v on modem link (bw estimate %d)", v.State(), v.ServerPeer().Bandwidth())
+			t.Errorf("state = %v on modem link (bw estimate %d)", v.State(), v.LinkBandwidth())
 		}
 	})
 }
@@ -744,7 +744,7 @@ func TestStatAndBandwidthExport(t *testing.T) {
 		}
 		// Transport estimates are exported to Venus (§4.1).
 		v.ReadFile("/coda/usr/f")
-		if v.ServerPeer().Bandwidth() <= 0 {
+		if v.LinkBandwidth() <= 0 {
 			t.Error("no bandwidth estimate after traffic")
 		}
 	})

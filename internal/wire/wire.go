@@ -219,6 +219,56 @@ type ConnectClient struct{}
 // ConnectClientRep acknowledges registration.
 type ConnectClientRep struct{ ServerTime time.Time }
 
+// ---- Server ↔ server replication ----
+
+// LogEntry is one replicated WAL batch: the records one client commit
+// appended to a volume's log, identified by its log sequence number and
+// chained by a cumulative fingerprint over the exact journal payload
+// bytes. Identical entry streams produce identical chains on every
+// replica, so a chain match at LSN n proves byte-identical logs through n.
+type LogEntry struct {
+	LSN    uint64
+	Chain  uint32 // cumulative CRC32C through this entry
+	Client string // originating client address (dedup identity)
+	Recs   []cml.Record
+}
+
+// ShipLog pushes one freshly committed log entry to a replica peer
+// (primary-push half of log anti-entropy). PrevChain is the shipper's
+// chain before the entry; the receiver applies only if it matches its
+// own, which guarantees replicas never interleave divergent histories.
+type ShipLog struct {
+	Volume    codafs.VolumeID
+	PrevChain uint32
+	Entry     LogEntry
+}
+
+// ShipLogRep acknowledges a shipped entry. LSN is the receiver's log
+// position after the call; NeedCatchUp reports a gap or chain mismatch —
+// the receiver will repair itself by pulling the suffix via FetchLog.
+type ShipLogRep struct {
+	LSN         uint64
+	NeedCatchUp bool
+}
+
+// FetchLog pulls the log suffix after AfterLSN from a peer (pull half of
+// log anti-entropy, used by a restarted replica to catch up). Chain is
+// the caller's cumulative fingerprint at AfterLSN; the peer refuses the
+// fetch if it disagrees, which turns silent divergence into a loud error.
+type FetchLog struct {
+	Volume   codafs.VolumeID
+	AfterLSN uint64
+	Chain    uint32
+}
+
+// FetchLogRep returns up to a batch of entries following AfterLSN. LSN is
+// the peer's current log position: the caller keeps fetching until it
+// reaches it.
+type FetchLogRep struct {
+	Entries []LogEntry
+	LSN     uint64
+}
+
 // ---- Server → client ----
 
 // CallbackBreak invalidates object and/or volume callbacks at a client.
@@ -244,6 +294,8 @@ func init() {
 		Reintegrate{}, ReintegrateRep{},
 		PutFragment{}, PutFragmentRep{},
 		ConnectClient{}, ConnectClientRep{},
+		ShipLog{}, ShipLogRep{},
+		FetchLog{}, FetchLogRep{},
 		CallbackBreak{}, CallbackBreakRep{},
 	} {
 		gob.Register(v)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint lint-ignores bench bench-json bench-allocs bench-gate bench-baseline vet fmt clean crash
+.PHONY: all build test race lint lint-ignores bench bench-json bench-allocs bench-gate bench-baseline vet fmt clean crash scenarios
 
 all: build vet lint test
 
@@ -19,6 +19,16 @@ race:
 crash:
 	$(GO) test -race -count=1 -run 'Crash|Torn|Journal|Recovery|Corrupt' \
 		./internal/wal/ ./internal/crashfs/ ./internal/venus/ ./internal/server/ ./internal/cml/ ./internal/group/
+
+# Scenario gate: the declarative corpus (parse, validate, run, golden
+# dumps, determinism) plus the generated chaos matrix — the crash-point
+# x victim x link-churn sweep expanded from crash_matrix.scn — all
+# under the race detector. `codascn run` then executes the runnable
+# corpus through the CLI path as well.
+scenarios:
+	$(GO) test -race -count=1 ./internal/scenario/
+	$(GO) run ./cmd/codascn validate internal/scenario/testdata/scenarios
+	$(GO) run ./cmd/codascn matrix -run internal/scenario/testdata/scenarios/crash_matrix.scn
 
 # Same wall-clock budget as CI so a local `make lint` catches an
 # analysis-time regression before the workflow does.

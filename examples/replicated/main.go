@@ -1,86 +1,69 @@
 // Replicated: a three-server volume storage group surviving a member
 // failure without the client noticing.
 //
-// Three servers carry the volume; a client writes through its preferred
-// member, which ships each committed update to its peers. Mid-session
-// the preferred member drops off the network: the client's next call
-// times out once, fails over, and work continues. When the member comes
-// back it pulls the log suffix it missed from a peer, and the example
-// proves convergence by comparing every member's serialized state
-// byte for byte.
+// The experiment itself now lives in a declarative scenario file —
+// internal/scenario/testdata/scenarios/replicated_kill_catchup.scn —
+// and this example is a thin wrapper that loads and runs it, exactly
+// what `codascn run` does. The scenario writes through an AVSG while
+// the preferred member is partitioned away, fails over, heals, and
+// asserts the group converges byte-identical.
 //
 // Run with: go run ./examples/replicated
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"os"
-	"time"
+	"path/filepath"
 
-	"repro/internal/group"
-	"repro/internal/netsim"
-	"repro/internal/simtime"
-	"repro/internal/venus"
+	"repro/internal/scenario"
 )
 
+const scenarioFile = "internal/scenario/testdata/scenarios/replicated_kill_catchup.scn"
+
 func main() {
-	sim := simtime.NewSim(simtime.Epoch1995)
-	net := netsim.New(sim, 3)
-	net.SetDefaults(netsim.WaveLan.Params())
-
-	grp, err := group.New(sim, []netsim.PacketConn{
-		net.Host("srv-a"), net.Host("srv-b"), net.Host("srv-c"),
-	})
+	root, err := repoRoot()
 	must(err)
-	info, err := grp.CreateVolume("proj")
+	src, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(scenarioFile)))
 	must(err)
-	must(grp.WriteFile("proj", "notes/plan.txt", []byte("v1 plan\n")))
+	s, err := scenario.Parse("replicated_kill_catchup", src)
+	must(err)
+	res, err := scenario.Run(s)
+	must(err)
 
-	sim.Run(func() {
-		v := venus.New(sim, net.Host("laptop"), venus.Config{
-			Servers:  grp.Addrs(),
-			ClientID: 1,
-		})
-		must(v.Mount("proj"))
-
-		report := func(where string) {
-			st := v.Stats()
-			fmt.Printf("%-28s state=%-18s failovers=%d\n", where, v.State(), st.Failovers)
+	for _, a := range res.Asserts {
+		verdict := "ok  "
+		if !a.OK {
+			verdict = "FAIL"
 		}
-
-		must(v.WriteFile("/coda/proj/notes/plan.txt", []byte("v2 plan\n")))
-		report("all members up")
-
-		// The volume's preferred member — the one the client's traffic
-		// targets — goes dark.
-		prefIdx := int(uint64(info.ID) % uint64(grp.Len()))
-		pref := grp.Addrs()[prefIdx]
-		net.SetUp("laptop", pref, false)
-		must(v.WriteFile("/coda/proj/notes/plan.txt", []byte("v3 plan, written around the outage\n")))
-		must(v.WriteFile("/coda/proj/notes/todo.txt", []byte("1. ship it\n")))
-		report("preferred member down")
-
-		// The member returns and pulls what it missed from a peer.
-		net.SetUp("laptop", pref, true)
-		must(grp.Member(prefIdx).CatchUp(grp.Addrs()[(prefIdx+1)%grp.Len()]))
-		sim.Sleep(5 * time.Second) // let in-flight ships settle
-
-		images := make([][]byte, grp.Len())
-		for i := 0; i < grp.Len(); i++ {
-			var buf bytes.Buffer
-			must(grp.Member(i).SaveState(&buf))
-			images[i] = buf.Bytes()
+		fmt.Printf("%s %-12s %s\n", verdict, a.Kind, a.Detail)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures() {
+			fmt.Fprintln(os.Stderr, f)
 		}
-		for i := 1; i < len(images); i++ {
-			if !bytes.Equal(images[0], images[i]) {
-				fmt.Printf("member %d diverged from member 0\n", i)
-				os.Exit(1)
-			}
+		os.Exit(1)
+	}
+	fmt.Printf("PASS %s (%d steps, %d asserts)\n", res.Scenario, res.Steps, len(res.Asserts))
+}
+
+// repoRoot walks up from the working directory to the module root, so
+// the example runs from any subdirectory.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
 		}
-		fmt.Printf("all %d members byte-identical after catch-up (%d bytes each)\n",
-			grp.Len(), len(images[0]))
-	})
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory; run from inside the repo")
+		}
+		dir = parent
+	}
 }
 
 func must(err error) {

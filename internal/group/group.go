@@ -60,11 +60,7 @@ func New(clock simtime.Clock, conns []netsim.PacketConn, opts ...Option) (*Group
 		g.addrs = append(g.addrs, c.LocalAddr())
 	}
 	for i, c := range conns {
-		sopts := []server.Option{server.WithPeers(g.PeerAddrs(i)...)}
-		if g.reg != nil {
-			sopts = append(sopts, server.WithObs(g.reg))
-		}
-		g.servers = append(g.servers, server.New(clock, c, sopts...))
+		g.servers = append(g.servers, server.New(clock, c, g.MemberOptions(i)...))
 	}
 	if g.reg != nil {
 		for i := range g.servers {
@@ -76,6 +72,23 @@ func New(clock simtime.Clock, conns []netsim.PacketConn, opts ...Option) (*Group
 		}
 	}
 	return g, nil
+}
+
+// MemberOptions returns the construction options member i was (and any
+// replacement must be) built with: the peer wiring, the registry, and
+// the hook that surfaces replica divergence as the
+// group_divergence_total counter, labeled by node. Counter registration
+// is idempotent, so a replacement increments the same series the
+// original did.
+func (g *Group) MemberOptions(i int) []server.Option {
+	sopts := []server.Option{server.WithPeers(g.PeerAddrs(i)...)}
+	if g.reg != nil {
+		c := g.reg.Counter("group_divergence_total", obs.L("node", g.addrs[i]))
+		sopts = append(sopts,
+			server.WithObs(g.reg),
+			server.WithDivergenceHook(c.Inc))
+	}
+	return sopts
 }
 
 // Len returns the member count.

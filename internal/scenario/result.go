@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Result is the outcome of one scenario run. Every field derives from
+// the virtual clock and the scenario seed, so identical scenarios
+// produce byte-identical DumpJSON output — the determinism contract the
+// golden tests pin.
+type Result struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Steps    int    `json:"steps"`
+
+	// ElapsedSimUS is schedule wall time on the virtual clock, in
+	// microseconds.
+	ElapsedSimUS int64 `json:"elapsed_sim_us"`
+
+	// StepFailure is set when a schedule step failed; assertions are
+	// skipped in that case.
+	StepFailure string `json:"step_failure,omitempty"`
+
+	Asserts []AssertResult `json:"asserts"`
+
+	// Metrics is the obs registry dump captured at schedule end, before
+	// assertions read any state.
+	Metrics json.RawMessage `json:"metrics"`
+}
+
+// AssertResult is one evaluated assertion.
+type AssertResult struct {
+	Line   int    `json:"line"`
+	Kind   string `json:"kind"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// OK reports whether the run passed: no step failure and every
+// assertion held.
+func (r *Result) OK() bool {
+	if r.StepFailure != "" {
+		return false
+	}
+	for _, a := range r.Asserts {
+		if !a.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures lists what went wrong, one line each.
+func (r *Result) Failures() []string {
+	var out []string
+	if r.StepFailure != "" {
+		out = append(out, "step: "+r.StepFailure)
+	}
+	for _, a := range r.Asserts {
+		if !a.OK {
+			out = append(out, fmt.Sprintf("assert %s (line %d): %s", a.Kind, a.Line, a.Detail))
+		}
+	}
+	return out
+}
+
+// DumpJSON renders the result deterministically: two-space indent,
+// trailing newline, matching the obs dump convention.
+func (r *Result) DumpJSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// Result contains only marshalable fields.
+		panic("scenario: result marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}

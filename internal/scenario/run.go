@@ -1,0 +1,455 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/crashfs"
+	"repro/internal/group"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/venus"
+	"repro/internal/wal"
+)
+
+// profileByName maps scenario profile names onto netsim's calibrated
+// network technologies.
+var profileByName = map[string]netsim.Profile{
+	"ethernet": netsim.Ethernet,
+	"wavelan":  netsim.WaveLan,
+	"isdn":     netsim.ISDN,
+	"modem":    netsim.Modem,
+}
+
+// Run validates s, compiles it onto the sim substrate, executes the
+// schedule, and evaluates the assertions. The returned error covers
+// problems with the scenario itself (validation, world construction);
+// step and assertion failures are reported in the Result, whose OK
+// method is the pass/fail verdict. Identical scenarios produce
+// byte-identical Result dumps: everything in the run — network timing,
+// journal fault points, trace workloads — derives from the scenario
+// seed on a virtual clock.
+func Run(s *Scenario) (*Result, error) {
+	if err := Validate(s); err != nil {
+		return nil, err
+	}
+	if s.IsTemplate() {
+		return nil, fmt.Errorf("scenario %s: is a template; expand it with the matrix command first", s.Name)
+	}
+	topo, err := resolveTopology(s)
+	if err != nil {
+		return nil, err
+	}
+	w, err := buildWorld(s, topo)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Scenario: s.Name, Seed: s.Seed, Steps: len(s.Steps)}
+	w.sim.Run(func() {
+		w.startClients()
+		if err := w.mountAll(); err != nil {
+			res.StepFailure = err.Error()
+			return
+		}
+		start := w.sim.Now()
+		w.scheduleStart = start
+		for i := range s.Steps {
+			if err := w.execStep(&s.Steps[i]); err != nil {
+				res.StepFailure = fmt.Sprintf("%s:%d: %s: %v", s.Name, s.Steps[i].Line, s.Steps[i].Kind, err)
+				break
+			}
+		}
+		res.ElapsedSimUS = w.sim.Now().Sub(start).Microseconds()
+		// The dump is captured before assertions run so assertion-time
+		// reads (client-file fetches bump cache counters) cannot perturb
+		// it; metric assertions read this same snapshot.
+		res.Metrics = w.reg.Dump()
+		for i := range s.Asserts {
+			res.Asserts = append(res.Asserts, w.evalAssert(&s.Asserts[i], res))
+		}
+	})
+	return res, nil
+}
+
+// world is one compiled scenario: the simulated deployment plus the
+// handles steps and assertions act on.
+type world struct {
+	scn  *Scenario
+	topo *topology
+
+	sim *simtime.Sim
+	net *netsim.Network
+	reg *obs.Registry
+
+	groups map[string]*group.Group
+	mems   map[string][]*crashfs.Mem // journal disks, per journaled group
+	alive  map[string]bool           // server liveness (kill/restart)
+
+	clients map[string]*venus.Venus
+	traces  map[string]*trace.Trace
+
+	scheduleStart time.Time
+}
+
+// journalOpts is the WAL configuration every journaled member uses: one
+// fsync per record on the fault-injectable disk, the strictest policy —
+// what crash-arm sweeps cut power under.
+func journalOpts(mem *crashfs.Mem) server.JournalOptions {
+	return server.JournalOptions{FS: mem, Dir: "sj", Policy: wal.SyncEachRecord}
+}
+
+// buildWorld constructs the deployment: network, groups (journaled where
+// declared), volumes, seeds, and trace universes. Clients are started
+// later, inside the sim run.
+func buildWorld(s *Scenario, topo *topology) (*world, error) {
+	w := &world{
+		scn:     s,
+		topo:    topo,
+		groups:  map[string]*group.Group{},
+		mems:    map[string][]*crashfs.Mem{},
+		alive:   map[string]bool{},
+		clients: map[string]*venus.Venus{},
+		traces:  map[string]*trace.Trace{},
+	}
+	w.sim = simtime.NewSim(simtime.Epoch1995)
+	w.net = netsim.New(w.sim, s.Seed)
+	w.net.SetDefaults(netsim.Ethernet.Params())
+	w.reg = obs.NewRegistry(w.sim)
+
+	for gi := range s.Groups {
+		gd := &s.Groups[gi]
+		conns := make([]netsim.PacketConn, gd.Members)
+		for i := range conns {
+			conns[i] = w.net.Host(serverName(gd.Name, i))
+		}
+		grp, err := group.New(w.sim, conns, group.WithObs(w.reg))
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: group %s: %w", s.Name, gd.Name, err)
+		}
+		w.groups[gd.Name] = grp
+		for i := 0; i < gd.Members; i++ {
+			w.alive[serverName(gd.Name, i)] = true
+		}
+		if gd.Journal {
+			mems := make([]*crashfs.Mem, gd.Members)
+			for i := range mems {
+				mems[i] = crashfs.NewMem()
+				if _, err := grp.Member(i).AttachJournal(journalOpts(mems[i])); err != nil {
+					return nil, fmt.Errorf("scenario %s: group %s member %d journal: %w", s.Name, gd.Name, i, err)
+				}
+			}
+			w.mems[gd.Name] = mems
+		}
+	}
+	for i := range s.Volumes {
+		vd := &s.Volumes[i]
+		if _, err := w.groups[vd.Group].CreateVolume(vd.Name); err != nil {
+			return nil, fmt.Errorf("scenario %s: volume %s: %w", s.Name, vd.Name, err)
+		}
+	}
+	for i := range s.Seeds {
+		sd := &s.Seeds[i]
+		grp := w.groups[topo.volumes[sd.Volume]]
+		var err error
+		if sd.Dir {
+			err = grp.MakeDir(sd.Volume, sd.Path)
+		} else {
+			err = grp.WriteFile(sd.Volume, sd.Path, sd.Data)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: seed %s/%s: %w", s.Name, sd.Volume, sd.Path, err)
+		}
+	}
+	for i := range s.Traces {
+		td := &s.Traces[i]
+		p := trace.SegmentPreset(td.Segment, s.Seed)
+		scale := 1.0
+		if td.ScalePct > 0 {
+			scale = float64(td.ScalePct) / 100
+		}
+		p.Updates = int(float64(p.Updates) * scale)
+		p.RefsPerUpdate = int(float64(p.RefsPerUpdate) * scale)
+		if p.RefsPerUpdate < 1 {
+			p.RefsPerUpdate = 1
+		}
+		tr := trace.Generate(p)
+		grp := w.groups[topo.volumes[traceVolume]]
+		// Traces are seeded identically on every member, like any other
+		// administrative write (SeedServer iterates its manifest in
+		// sorted order, so members end identical).
+		if err := grp.Each(func(srv *server.Server) error {
+			return trace.SeedServer(srv, tr)
+		}); err != nil {
+			return nil, fmt.Errorf("scenario %s: trace %s: %w", s.Name, td.Name, err)
+		}
+		w.traces[td.Name] = tr
+	}
+	return w, nil
+}
+
+// serverName is the canonical address of group member i.
+func serverName(group string, i int) string { return group + strconv.Itoa(i) }
+
+// startClients constructs every declared Venus. Runs inside sim.Run so
+// the client daemons are tracked from their first instant, like every
+// harness in the repo.
+func (w *world) startClients() {
+	for i := range w.scn.Clients {
+		cd := &w.scn.Clients[i]
+		grp := w.groups[cd.Group]
+		w.clients[cd.Name] = venus.New(w.sim, w.net.Host(cd.Name), venus.Config{
+			Servers:              grp.Addrs(),
+			ClientID:             cd.ID,
+			CacheBytes:           cd.CacheBytes,
+			AgingWindow:          cd.Aging,
+			TrickleInterval:      cd.Trickle,
+			ChunkSeconds:         cd.ChunkSeconds,
+			PinWriteDisconnected: cd.PinWD,
+			Obs:                  w.reg,
+		})
+	}
+}
+
+// mountAll performs the declared mounts in order.
+func (w *world) mountAll() error {
+	for i := range w.scn.Mounts {
+		m := &w.scn.Mounts[i]
+		if err := w.clients[m.Client].Mount(m.Volume); err != nil {
+			return fmt.Errorf("%s:%d: mount %s %s: %w", w.scn.Name, m.Line, m.Client, m.Volume, err)
+		}
+	}
+	return nil
+}
+
+// targetAddrs expands a step target into server addresses: a group name
+// yields every member, a member name just itself.
+func (w *world) targetAddrs(target string) []string {
+	g, idx, isGroup, err := w.topo.resolveTarget(target)
+	if err != nil {
+		// Validate already vetted every target.
+		panic(fmt.Sprintf("scenario: unresolved target %q after validation: %v", target, err))
+	}
+	if !isGroup {
+		return []string{serverName(g, idx)}
+	}
+	n := w.topo.groups[g].Members
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = serverName(g, i)
+	}
+	return addrs
+}
+
+// execStep runs one schedule step on the live world.
+func (w *world) execStep(st *Step) error {
+	v := w.clients[st.Client] // nil for server-side steps
+	switch st.Kind {
+	case StepAt:
+		target := w.scheduleStart.Add(st.Dur)
+		if d := target.Sub(w.sim.Now()); d > 0 {
+			w.sim.Sleep(d)
+		}
+	case StepAfter:
+		w.sim.Sleep(st.Dur)
+	case StepWrite:
+		return v.WriteFile(st.Path, st.Data)
+	case StepMkdir:
+		return v.Mkdir(st.Path)
+	case StepRemove:
+		return v.Remove(st.Path)
+	case StepRead:
+		data, err := v.ReadFile(st.Path)
+		if err != nil {
+			return err
+		}
+		if st.HasData && !bytes.Equal(data, st.Expect) {
+			return fmt.Errorf("read %s = %q, want %q", st.Path, clip(data), clip(st.Expect))
+		}
+	case StepDisconnect:
+		v.Disconnect()
+	case StepWriteDisc:
+		v.WriteDisconnect()
+	case StepConnect:
+		v.Connect(st.N)
+	case StepHoard:
+		v.HoardAdd(st.Path, int(st.N), st.Flag)
+	case StepHoardWalk:
+		return v.HoardWalk()
+	case StepReintegrate:
+		return v.ForceReintegrate()
+	case StepLink:
+		for _, addr := range w.targetAddrs(st.Target) {
+			switch st.Mode {
+			case LinkUp:
+				w.net.SetUp(st.Client, addr, true)
+			case LinkDown:
+				w.net.SetUp(st.Client, addr, false)
+			case LinkProfile:
+				w.net.SetLink(st.Client, addr, profileByName[st.Profile].Params())
+			case LinkParams:
+				bw, lat := st.N, st.Latency
+				w.net.Configure(st.Client, addr, func(p *netsim.LinkParams) {
+					p.Bandwidth = bw
+					if lat > 0 {
+						p.Latency = lat
+					}
+				})
+			}
+		}
+	case StepFlap:
+		w.scheduleFlaps(st)
+	case StepKill:
+		g, idx, _, _ := w.topo.resolveTarget(st.Target)
+		w.groups[g].Member(idx).Close()
+		w.alive[st.Target] = false
+	case StepCrashArm:
+		g, idx, _, _ := w.topo.resolveTarget(st.Target)
+		w.mems[g][idx].ArmCrash(int(st.N), 0)
+	case StepRestart:
+		return w.restart(st)
+	case StepConverge:
+		return w.converge(st.Target)
+	case StepDrain:
+		deadline := w.sim.Now().Add(st.Dur)
+		for v.CMLRecords() > 0 && w.sim.Now().Before(deadline) {
+			w.sim.Sleep(time.Second)
+		}
+		if n := v.CMLRecords(); n != 0 {
+			return fmt.Errorf("CML still holds %d records after %v", n, st.Dur)
+		}
+	case StepReplay:
+		tr := w.traces[st.Target]
+		td := w.traceDecl(st.Target)
+		opts := trace.ReplayOpts{Lambda: td.Lambda, OpCost: td.OpCost}
+		if opts.Lambda == 0 {
+			opts.Lambda = time.Second
+		}
+		if opts.OpCost == 0 {
+			opts.OpCost = 3 * time.Millisecond
+		}
+		if st.Dur > 0 {
+			warm := tr.Slice(0, st.Dur)
+			rest := tr.Slice(st.Dur, tr.Duration()+time.Minute)
+			trace.Replay(w.sim, v, warm, opts)
+			trace.Replay(w.sim, v, rest, opts)
+		} else {
+			trace.Replay(w.sim, v, tr, opts)
+		}
+	default:
+		return fmt.Errorf("unhandled step kind %q", st.Kind)
+	}
+	return nil
+}
+
+// traceDecl returns the declaration behind a trace name.
+func (w *world) traceDecl(name string) *TraceDecl {
+	for i := range w.scn.Traces {
+		if w.scn.Traces[i].Name == name {
+			return &w.scn.Traces[i]
+		}
+	}
+	panic("scenario: unresolved trace " + name)
+}
+
+// scheduleFlaps schedules st.N down/up cycles of the client↔target
+// links, each period long, starting now. The toggles ride on AfterFunc
+// so the schedule continues underneath the churn — the same overlap a
+// real flapping link inflicts on a reintegration in flight.
+func (w *world) scheduleFlaps(st *Step) {
+	addrs := w.targetAddrs(st.Target)
+	client := st.Client
+	for i := int64(0); i < st.N; i++ {
+		down := time.Duration(i) * st.Dur
+		up := down + st.Dur/2
+		w.sim.AfterFunc(down, func() {
+			for _, a := range addrs {
+				w.net.SetUp(client, a, false)
+			}
+		})
+		w.sim.AfterFunc(up, func() {
+			for _, a := range addrs {
+				w.net.SetUp(client, a, true)
+			}
+		})
+	}
+}
+
+// restart reboots a member from its journal: the dead process leaves the
+// address, the fault disk reboots with only its durable prefix, and a
+// fresh server recovers from it, re-creating any volume whose creation
+// was lost with the crash (cmd/codasrv does the same at boot). An
+// optional `from` peer pulls the missed log suffix immediately;
+// otherwise a later converge step repairs.
+func (w *world) restart(st *Step) error {
+	g, idx, _, _ := w.topo.resolveTarget(st.Target)
+	grp := w.groups[g]
+	addr := serverName(g, idx)
+	grp.Member(idx).Close()
+	mem := w.mems[g][idx]
+	mem.Reboot()
+	fresh := server.New(w.sim, w.net.Host(addr), grp.MemberOptions(idx)...)
+	if _, err := fresh.AttachJournal(journalOpts(mem)); err != nil {
+		return fmt.Errorf("restart %s: recovery: %w", addr, err)
+	}
+	for i := range w.scn.Volumes {
+		vd := &w.scn.Volumes[i]
+		if vd.Group != g {
+			continue
+		}
+		if _, err := fresh.VolumeStamp(vd.Name); err != nil {
+			if _, err := fresh.CreateVolume(vd.Name); err != nil {
+				return fmt.Errorf("restart %s: recreate volume %s: %w", addr, vd.Name, err)
+			}
+		}
+	}
+	if err := grp.ReplaceMember(idx, fresh); err != nil {
+		return err
+	}
+	w.alive[addr] = true
+	if st.From != "" {
+		if err := fresh.CatchUp(st.From); err != nil {
+			return fmt.Errorf("restart %s: catch-up from %s: %w", addr, st.From, err)
+		}
+	}
+	return nil
+}
+
+// converge runs group-wide anti-entropy: every live member pulls from
+// every other live member (pulls with nothing to fetch are one cheap
+// RPC per volume), then lets in-flight ships settle. Divergence inside
+// any pull surfaces as this step's error — loud, never repaired
+// silently.
+func (w *world) converge(groupName string) error {
+	grp := w.groups[groupName]
+	n := grp.Len()
+	for i := 0; i < n; i++ {
+		if !w.alive[serverName(groupName, i)] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i || !w.alive[serverName(groupName, j)] {
+				continue
+			}
+			if err := grp.Member(i).CatchUp(grp.Addrs()[j]); err != nil {
+				return fmt.Errorf("member %d catch-up from %d: %w", i, j, err)
+			}
+		}
+	}
+	w.sim.Sleep(5 * time.Second)
+	return nil
+}
+
+// clip bounds content in error messages.
+func clip(b []byte) string {
+	const max = 64
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}

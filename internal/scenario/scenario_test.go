@@ -1,0 +1,321 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const corpusDir = "testdata/scenarios"
+
+// readCorpus loads every .scn file, sorted by name.
+func readCorpus(t *testing.T) (names []string, srcs map[string][]byte) {
+	t.Helper()
+	ents, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs = map[string][]byte{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".scn") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := strings.TrimSuffix(e.Name(), ".scn")
+		names = append(names, name)
+		srcs[name] = src
+	}
+	sort.Strings(names)
+	if len(names) < 4 {
+		t.Fatalf("corpus holds %d scenarios, want >= 4", len(names))
+	}
+	return names, srcs
+}
+
+// TestCorpus is the single table-driven test the corpus runs under:
+// every scenario file parses, validates, and — unless it is a matrix
+// template — runs to a passing result.
+func TestCorpus(t *testing.T) {
+	names, srcs := readCorpus(t)
+	ported := map[string]bool{"replicated_kill_catchup": false, "weaklink_replay": false}
+	for _, name := range names {
+		if _, ok := ported[name]; ok {
+			ported[name] = true
+		}
+		t.Run(name, func(t *testing.T) {
+			s, err := Parse(name, srcs[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Validate(s); err != nil {
+				t.Fatal(err)
+			}
+			if s.IsTemplate() {
+				// Templates are expanded and executed by TestMatrix.
+				return
+			}
+			res, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				for _, f := range res.Failures() {
+					t.Error(f)
+				}
+			}
+		})
+	}
+	for name, seen := range ported {
+		if !seen {
+			t.Errorf("corpus is missing the ported harness scenario %q", name)
+		}
+	}
+}
+
+// TestMatrix expands the crash template into the full crash-point x
+// victim x churn sweep and runs every instance — the generated chaos
+// matrix the issue asks for.
+func TestMatrix(t *testing.T) {
+	_, srcs := readCorpus(t)
+	src, ok := srcs["crash_matrix"]
+	if !ok {
+		t.Fatal("corpus is missing crash_matrix.scn")
+	}
+	insts, err := ExpandMatrix("crash_matrix", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) < 12 {
+		t.Fatalf("matrix expanded to %d instances, want >= 12", len(insts))
+	}
+	for _, inst := range insts {
+		t.Run(inst.Name, func(t *testing.T) {
+			res, err := Run(inst.Scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				for _, f := range res.Failures() {
+					t.Error(f)
+				}
+			}
+		})
+	}
+}
+
+// TestRunDeterministic runs the same scenario twice and requires
+// byte-identical result dumps — the determinism contract every metric
+// assertion and golden file rests on.
+func TestRunDeterministic(t *testing.T) {
+	_, srcs := readCorpus(t)
+	for _, name := range []string{"disconnected_reintegrate", "replicated_kill_catchup"} {
+		var dumps [][]byte
+		for round := 0; round < 2; round++ {
+			s, err := Parse(name, srcs[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("%s round %d: %v", name, round, res.Failures())
+			}
+			dumps = append(dumps, res.DumpJSON())
+		}
+		if !bytes.Equal(dumps[0], dumps[1]) {
+			t.Errorf("%s: two identical-seed runs produced different result dumps (%d vs %d bytes)",
+				name, len(dumps[0]), len(dumps[1]))
+		}
+	}
+}
+
+// TestGoldenDumps pins the obs registry dump of two seeded corpus runs
+// byte-for-byte (extending TestRegistryDumpDeterministic to the DSL
+// path). Regenerate with: go test ./internal/scenario -run Golden -update
+func TestGoldenDumps(t *testing.T) {
+	_, srcs := readCorpus(t)
+	for _, name := range []string{"hoard_disconnect", "disconnected_reintegrate"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := Parse(name, srcs[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatal(res.Failures())
+			}
+			golden := filepath.Join("testdata", "golden", name+".metrics.json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, res.Metrics, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(res.Metrics, want) {
+				t.Errorf("obs dump for %s differs from golden file (%d vs %d bytes); "+
+					"run with -update if the change is intended", name, len(res.Metrics), len(want))
+			}
+		})
+	}
+}
+
+// TestParseErrors pins the parser's error surface: every malformed
+// input returns a wrapped error naming the line, never a panic.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unterminated quote", `write c /f "oops`, "unterminated"},
+		{"unknown directive", "frobnicate now", "unknown directive"},
+		{"topology after schedule", "group g members 1\nclient c id 1\nmount c v\ndisconnect c\nvolume v", "after the first schedule step"},
+		{"bad duration", "after sideways", "offset"},
+		{"quoted directive", `"group" g members 3`, "must not be quoted"},
+		{"trailing args", "group g members 3 journal extra", "unknown group option"},
+		{"axis no values", "matrix crash", "no values"},
+		{"range too big", "matrix n 1..99999", "max 1000"},
+		{"zeros too big", `write c /f zeros 99999999999`, "out of range"},
+		{"metric without bound", "assert metric venus_cml_records", "needs a bound"},
+		{"bad label", "assert metric m novalue == 1", "not key=value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("t", []byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Parse(%q) error %q does not contain %q", tc.src, err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "scenario t:") {
+				t.Errorf("error %q does not name the file and line", err)
+			}
+		})
+	}
+}
+
+// TestValidateErrors pins reference checking.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no group", "client c id 1", "no group declared"},
+		{"unknown mount volume", "group g members 1\nclient c id 1\nmount c nope", "unknown volume"},
+		{"duplicate client id", "group g members 1\nclient a id 1\nclient b id 1", "already used"},
+		{"kill a group", "group g members 2\nkill g", "single server"},
+		{"member out of range", "group g members 2\nkill g5", "has 2 members"},
+		{"crash-arm without journal", "group g members 1\nclient c id 1\ncrash-arm g0 1", "journal"},
+		{"restart with seeds", "group g members 1 journal\nvolume v\nseed-file v f \"x\"\nclient c id 1\nrestart g0", "not journaled"},
+		{"unexpanded var", "group g members 1\nclient c id 1\nkill ${victim}", "unexpanded variable"},
+		{"unknown state", "group g members 1\nclient c id 1\nassert state c confused", "unknown state"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse("t", []byte(tc.src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			err = Validate(s)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate error %v does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMatrixExpansion pins instance naming, ordering, and substitution.
+func TestMatrixExpansion(t *testing.T) {
+	src := []byte(`scenario tiny
+matrix a 1..2
+matrix b x y
+group g members 1
+volume v
+client c id 1
+mount c v
+write c /coda/v/f-${a} "${b}"
+`)
+	insts, err := ExpandMatrix("tiny", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"tiny_a-1_b-x", "tiny_a-1_b-y", "tiny_a-2_b-x", "tiny_a-2_b-y"}
+	if len(insts) != len(wantNames) {
+		t.Fatalf("got %d instances, want %d", len(insts), len(wantNames))
+	}
+	for i, inst := range insts {
+		if inst.Name != wantNames[i] {
+			t.Errorf("instance %d named %q, want %q", i, inst.Name, wantNames[i])
+		}
+		if inst.Scenario.IsTemplate() {
+			t.Errorf("instance %q still a template", inst.Name)
+		}
+		if strings.Contains(string(inst.Src), "${") {
+			t.Errorf("instance %q has unexpanded vars:\n%s", inst.Name, inst.Src)
+		}
+	}
+	if got := insts[3].Scenario.Steps[0].Path; got != "/coda/v/f-2" {
+		t.Errorf("last instance path = %q, want /coda/v/f-2", got)
+	}
+	if got := string(insts[3].Scenario.Steps[0].Data); got != "y" {
+		t.Errorf("last instance data = %q, want y", got)
+	}
+}
+
+// FuzzParseScenario: malformed input must return wrapped errors, never
+// panic — the same contract cml.Load honours for corrupt logs. Validate
+// and matrix expansion ride along under the same rule.
+func FuzzParseScenario(f *testing.F) {
+	ents, err := os.ReadDir(corpusDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".scn") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("group g members 3 journal\nvolume v\n")
+	f.Add("matrix a 1..5\nkill ${a}\n")
+	f.Add(`write c /p "unterminated`)
+	f.Add("assert metric m k=v == 3\nassert stamp g v >= -1\n")
+	f.Add("\x00\xff group")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse("fuzz", []byte(src))
+		if err != nil {
+			return
+		}
+		// Parsed scenarios must survive validation and expansion without
+		// panicking either; errors are fine.
+		if err := Validate(s); err != nil {
+			return
+		}
+		if s.IsTemplate() {
+			_, _ = ExpandMatrix("fuzz", []byte(src))
+		}
+	})
+}

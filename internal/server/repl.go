@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -39,6 +40,23 @@ import (
 // makes entry delivery itself idempotent and ordered. A chain mismatch
 // is divergence — possible only for updates never acknowledged to any
 // client — and is surfaced as a loud error, never repaired silently.
+
+// ErrDiverged marks replica divergence: a peer's log entry or chain
+// fingerprint contradicts local state. Detection sites wrap it so
+// callers (and the divergence hook) can classify without string
+// matching; note the remote side of an RPC sees only the string.
+var ErrDiverged = errors.New("replica diverged")
+
+// noteDivergence fires the divergence hook when err is (or wraps)
+// ErrDiverged. Called at every local detection site — apply of a pushed
+// entry, apply during catch-up, and serving a pull whose chain
+// disagrees — so a group can count divergence events even though the
+// error itself travels to a peer as an opaque string.
+func (s *Server) noteDivergence(err error) {
+	if s.divergenceHook != nil && errors.Is(err, ErrDiverged) {
+		s.divergenceHook()
+	}
+}
 
 // appliedKey identifies one reintegrated CML record for deduplication.
 // Connected-mode records carry sequence 0 and are never tracked; rpc2's
@@ -204,6 +222,7 @@ func (s *Server) shipLog(src string, req wire.ShipLog) (wire.ShipLogRep, error) 
 	rep := wire.ShipLogRep{LSN: v.walLSN}
 	v.mu.Unlock()
 	if err != nil {
+		s.noteDivergence(err)
 		return wire.ShipLogRep{}, err
 	}
 	s.stats.replApplied.Add(int64(len(e.Recs)))
@@ -225,7 +244,7 @@ func (v *volume) applyEntryLocked(e wire.LogEntry) ([]breakWork, error) {
 	a := newApply(v)
 	for i := range e.Recs {
 		if res := applyRecord(a, &e.Recs[i], e.Client); !res.OK {
-			return nil, fmt.Errorf("replica diverged: volume %d entry %d record %d (%s) does not apply: %s",
+			return nil, fmt.Errorf("%w: volume %d entry %d record %d (%s) does not apply: %s", ErrDiverged,
 				v.info.ID, e.LSN, i, e.Recs[i].Kind, res.Msg)
 		}
 	}
@@ -235,7 +254,7 @@ func (v *volume) applyEntryLocked(e wire.LogEntry) ([]breakWork, error) {
 	if v.chain != e.Chain {
 		// The entry is journaled but the fingerprint disagrees: the logs
 		// differ somewhere at or before this entry. Nothing silent to do.
-		return nil, fmt.Errorf("replica diverged: volume %d entry %d chain %08x != %08x",
+		return nil, fmt.Errorf("%w: volume %d entry %d chain %08x != %08x", ErrDiverged,
 			v.info.ID, e.LSN, v.chain, e.Chain)
 	}
 	_, _, breaks := commitApply(a, e.Client)
@@ -265,9 +284,10 @@ func (s *Server) fetchLog(req wire.FetchLog) (wire.FetchLogRep, error) {
 	}
 	chain, _ := v.chainAtLocked(req.AfterLSN)
 	if chain != req.Chain {
-		return wire.FetchLogRep{}, fmt.Errorf(
-			"replica diverged: volume %d chain %08x != %08x at entry %d",
-			req.Volume, chain, req.Chain, req.AfterLSN)
+		err := fmt.Errorf("%w: volume %d chain %08x != %08x at entry %d",
+			ErrDiverged, req.Volume, chain, req.Chain, req.AfterLSN)
+		s.noteDivergence(err)
+		return wire.FetchLogRep{}, err
 	}
 	start := req.AfterLSN - v.replBaseLSN
 	end := start + fetchLogBatch
@@ -333,6 +353,7 @@ func (s *Server) catchUpVolume(peer string, id codafs.VolumeID) error {
 			breaks, err := v.applyEntryLocked(e)
 			if err != nil {
 				v.mu.Unlock()
+				s.noteDivergence(err)
 				return fmt.Errorf("server: catch-up volume %d: %w", id, err)
 			}
 			allBreaks = append(allBreaks, breaks...)

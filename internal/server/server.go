@@ -78,6 +78,11 @@ type Server struct {
 	// Immutable after New; empty means unreplicated.
 	peers []string
 
+	// divergenceHook fires once per locally-detected divergence event
+	// (ErrDiverged). Immutable after New; nil means no observer. Called
+	// without server locks held beyond the detecting site's own.
+	divergenceHook func()
+
 	// mu guards the volume registry — the maps locating a volume domain
 	// and the ID allocator — and nothing inside the domains themselves.
 	// Lock order: mu before any volume.mu; never acquire mu while holding
@@ -286,6 +291,14 @@ func WithObs(reg *obs.Registry) Option {
 // restarted server pulls missed suffixes back from them (CatchUp).
 func WithPeers(addrs ...string) Option {
 	return func(s *Server) { s.peers = append([]string(nil), addrs...) }
+}
+
+// WithDivergenceHook registers fn to run once per locally-detected
+// replica divergence event (an error wrapping ErrDiverged at an apply
+// or fetch site). The group layer uses it to surface divergence as a
+// counter; fn must be cheap and must not call back into the server.
+func WithDivergenceHook(fn func()) Option {
+	return func(s *Server) { s.divergenceHook = fn }
 }
 
 // New creates a server listening on conn.

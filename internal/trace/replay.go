@@ -2,6 +2,7 @@ package trace
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"repro/internal/cml"
@@ -126,11 +127,20 @@ func AnalyzeCML(tr *Trace, aging time.Duration) CMLAnalysis {
 }
 
 // SeedServer creates the trace's volume and pre-existing files on srv.
+// Files are created in sorted path order so FID assignment is
+// deterministic: seeding the same trace onto every member of a
+// replicated group leaves the members byte-identical.
 func SeedServer(srv *server.Server, tr *Trace) error {
 	if _, err := srv.CreateVolume(tr.Volume); err != nil {
 		return err
 	}
-	for path, size := range tr.Manifest {
+	paths := make([]string, 0, len(tr.Manifest))
+	for path := range tr.Manifest {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		size := tr.Manifest[path]
 		_, comps, err := codafs.SplitPath(path)
 		if err != nil {
 			return err

@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/server"
 	"repro/internal/simtime"
@@ -230,7 +231,7 @@ func BenchmarkRPC2RoundTrip(b *testing.B) {
 	s := simtime.NewSim(simtime.Epoch1995)
 	net := netsim.New(s, 1)
 	net.SetDefaults(netsim.Ethernet.Params())
-	srv := rpc2.NewNode(s, net.Host("server"), netmon.NewMonitor(s), func(src string, body []byte) ([]byte, error) {
+	srv := rpc2.NewNode(s, net.Host("server"), netmon.NewMonitor(s), func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 		return body, nil
 	}, nil)
 	_ = srv

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	codabench [-fig 1,4,7,8,9,10,11,12,repl] [-ablations] [-quick] [-seed N] [-trials N] [-o out.txt] [-json out.json]
+//	codabench [-fig 1,4,7,8,9,10,11,12,repl] [-ablations] [-quick] [-seed N] [-trials N] [-o out.txt] [-json out.json] [-trace out.trace.json]
 //
 // -fig selects figures (default all); Figure 12 includes Figures 13 and 14,
 // and "repl" is the replication overhead/failover experiment (not a paper
@@ -36,6 +36,10 @@ type snapshotter interface {
 	RegistrySnapshots() []experiments.RegistrySnapshot
 }
 
+// traceExporter is satisfied by results that captured a Perfetto span
+// export (currently Figure 12's first replay).
+type traceExporter interface{ TraceExport() []byte }
+
 // jsonRun is one element of the -json output array.
 type jsonRun struct {
 	Figure  string                         `json:"figure"`
@@ -52,6 +56,7 @@ func main() {
 	trials := flag.Int("trials", 0, "trials per cell (0 = paper's default of 5)")
 	out := flag.String("o", "", "also write output to this file")
 	jsonOut := flag.String("json", "", "write {figure, params, series, metrics} records to this file")
+	traceOut := flag.String("trace", "", "write a Perfetto (Chrome trace-event) span export to this file (needs a figure that records one, e.g. 12)")
 	flag.Parse()
 
 	opts := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
@@ -84,6 +89,7 @@ func main() {
 		runs = append(runs, jr)
 	}
 
+	var traceData []byte
 	run := func(fig string, fn func() renderable) {
 		if !selected[fig] {
 			return
@@ -94,6 +100,11 @@ func main() {
 		fmt.Fprint(w, res.Render())
 		fmt.Fprintf(w, "(completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		record(fig, res)
+		if traceData == nil {
+			if te, ok := res.(traceExporter); ok {
+				traceData = te.TraceExport()
+			}
+		}
 	}
 
 	run("1", func() renderable { return experiments.Figure1(opts) })
@@ -129,6 +140,17 @@ func main() {
 			os.Exit(1)
 		}
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *traceOut != "" {
+		if traceData == nil {
+			fmt.Fprintln(os.Stderr, "codabench: -trace: no selected figure records a span export (run -fig 12)")
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, traceData, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

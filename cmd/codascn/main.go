@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	codascn run [-json] file.scn...      execute scenarios, report pass/fail
+//	codascn run [-json] [-trace out.json] file.scn...
+//	                                     execute scenarios, report pass/fail;
+//	                                     -trace writes the Perfetto span export
+//	                                     (exactly one scenario)
 //	codascn validate file.scn...         parse + validate (templates: expand and validate every cell)
 //	codascn list file.scn|dir...         one line per scenario: name, kind, doc
 //	codascn matrix [-out dir] [-run] [-json] template.scn
@@ -55,7 +58,7 @@ func run(args []string) int {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  codascn run [-json] file.scn...
+  codascn run [-json] [-trace out.json] file.scn...
   codascn validate file.scn...
   codascn list file.scn|dir...
   codascn matrix [-out dir] [-run] [-json] template.scn
@@ -105,6 +108,7 @@ func expand(args []string) ([]string, error) {
 func cmdRun(args []string) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "print each result as its full JSON dump")
+	traceOut := fs.String("trace", "", "write the run's Perfetto (Chrome trace-event) span export to this file; requires exactly one scenario")
 	if fs.Parse(args) != nil || fs.NArg() == 0 {
 		usage()
 		return 2
@@ -112,6 +116,10 @@ func cmdRun(args []string) int {
 	files, err := expand(fs.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "codascn:", err)
+		return 2
+	}
+	if *traceOut != "" && len(files) != 1 {
+		fmt.Fprintf(os.Stderr, "codascn: -trace needs exactly one scenario, got %d\n", len(files))
 		return 2
 	}
 	code := 0
@@ -132,6 +140,12 @@ func cmdRun(args []string) int {
 		}
 		if *jsonOut {
 			_, _ = os.Stdout.Write(res.DumpJSON())
+		}
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, res.Trace, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "codascn:", err)
+				return 2
+			}
 		}
 		code = report(res, code)
 	}

@@ -186,7 +186,7 @@ func AblationAdaptiveRTO(opts Options) AblationResult {
 		reg := obs.NewRegistry(s)
 		var elapsed time.Duration
 		s.Run(func() {
-			rpc2.NewNode(s, net.Host("server"), netmon.NewMonitor(s), func(src string, b []byte) ([]byte, error) {
+			rpc2.NewNode(s, net.Host("server"), netmon.NewMonitor(s), func(src string, _ obs.SpanContext, b []byte) ([]byte, error) {
 				return b, nil
 			}, reg)
 			c := rpc2.NewNode(s, net.Host("client"), netmon.NewMonitor(s), nil, reg)

@@ -53,7 +53,14 @@ type Fig12Result struct {
 	Cells map[Fig12Combo]map[string]map[string]Fig12Cell
 	// Fig14[segment][network.Name], from the λ=1s A=600s runs.
 	Fig14 map[string]map[string]Fig14Cell
+	// Trace is the Perfetto span export of the first run (first combo,
+	// segment, network; trial 0): the codabench -trace payload. Excluded
+	// from -json, whose metrics dumps already carry the aggregates.
+	Trace []byte `json:"-"`
 }
+
+// TraceExport surfaces the captured Perfetto trace to codabench -trace.
+func (r Fig12Result) TraceExport() []byte { return r.Trace }
 
 // fig12Run is one replay: a segment on a network under (λ, A).
 type fig12Run struct {
@@ -71,6 +78,7 @@ type fig12Out struct {
 	shipped  float64
 	optimzed float64
 	dump     []byte // registry dump, captured for trial 0 only
+	trace    []byte // Perfetto span export, captured alongside dump
 }
 
 // replayOpCost models local per-operation client work.
@@ -133,6 +141,9 @@ func Figure12(opts Options) Fig12Result {
 		}
 		label := fmt.Sprintf("%s/%s/lambda=%v/A=%v", o.segment, o.network.Name, o.combo.Lambda, o.combo.Aging)
 		res.Snapshots = append(res.Snapshots, RegistrySnapshot{Label: label, Dump: o.dump})
+		if res.Trace == nil {
+			res.Trace = o.trace
+		}
 	}
 
 	// Aggregate trials.
@@ -248,7 +259,19 @@ func fig12One(seed int64, r fig12Run, scale float64) fig12Out {
 		out.optimzed = float64(v.OptimizedBytes()-opt0) / 1024
 	})
 	if r.trial == 0 {
+		// Critical-path attribution over the run's traced reintegrations:
+		// exclusive self-time per bucket, exported as gauges so benchgate
+		// pins the breakdown alongside the wire counters.
+		cp := w.reg.CriticalPath("venus_reintegrate")
+		w.reg.Gauge("experiments_fig12_critpath_patience_wait_us").Set(cp["patience_wait"].Microseconds())
+		w.reg.Gauge("experiments_fig12_critpath_retransmit_us").Set(cp["retransmit"].Microseconds())
+		w.reg.Gauge("experiments_fig12_critpath_fragment_serialization_us").Set(cp["fragment_serialization"].Microseconds())
+		w.reg.Gauge("experiments_fig12_critpath_fsync_us").Set(cp["fsync"].Microseconds())
+		w.reg.Gauge("experiments_fig12_critpath_failover_us").Set(cp["failover"].Microseconds())
+		w.reg.Gauge("experiments_fig12_critpath_server_apply_us").Set(cp["server_apply"].Microseconds())
+		w.reg.Gauge("experiments_fig12_critpath_other_us").Set(cp["other"].Microseconds())
 		out.dump = w.reg.Dump()
+		out.trace = w.reg.ExportTrace()
 	}
 	return out
 }

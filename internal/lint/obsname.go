@@ -9,13 +9,14 @@ import (
 	"strings"
 )
 
-// Obsname enforces the observability naming contract: the first argument
-// of every Registry.Counter / Gauge / GaugeFunc / Histogram / Event call
-// must be a static snake_case string whose first segment is the
-// registering package's name. Static names keep dumps grep-able and the
-// Prometheus text export well-formed; the package prefix keeps a shared
-// registry collision-free when several components register into it.
-// Label VALUES may be dynamic — only names and event kinds are pinned.
+// Obsname enforces the observability naming contract: the name argument
+// of every Registry.Counter / Gauge / GaugeFunc / Histogram / Event /
+// StartSpan / SpanAt call must be a static snake_case string whose
+// first segment is the registering package's name. Static names keep
+// dumps grep-able and the Prometheus text export well-formed; the
+// package prefix keeps a shared registry collision-free when several
+// components register into it. Label VALUES and span node labels may be
+// dynamic — only names, event kinds, and span names are pinned.
 type Obsname struct{}
 
 // NewObsname returns the analyzer.
@@ -29,14 +30,17 @@ func (*Obsname) Doc() string {
 	return "obs metric names and event kinds must be static snake_case literals with the package prefix"
 }
 
-// obsnameMethods are the Registry methods whose first argument is a
-// metric name or event kind.
-var obsnameMethods = map[string]bool{
-	"Counter":   true,
-	"Gauge":     true,
-	"GaugeFunc": true,
-	"Histogram": true,
-	"Event":     true,
+// obsnameMethods maps each Registry method carrying a metric name,
+// event kind, or span name to that argument's index (span methods take
+// the dynamic node label first).
+var obsnameMethods = map[string]int{
+	"Counter":   0,
+	"Gauge":     0,
+	"GaugeFunc": 0,
+	"Histogram": 0,
+	"Event":     0,
+	"StartSpan": 1,
+	"SpanAt":    1,
 }
 
 // obsnameRe is the shape of a legal name: lower-case alphanumeric
@@ -50,11 +54,15 @@ func (o *Obsname) Analyze(pkg *Package) []Finding {
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
+			if !ok {
 				return true
 			}
 			fn := calleeFunc(pkg, call)
-			if fn == nil || !obsnameMethods[fn.Name()] {
+			if fn == nil {
+				return true
+			}
+			argIdx, watched := obsnameMethods[fn.Name()]
+			if !watched || len(call.Args) <= argIdx {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
@@ -70,7 +78,7 @@ func (o *Obsname) Analyze(pkg *Package) []Finding {
 				return true
 			}
 
-			arg := call.Args[0]
+			arg := call.Args[argIdx]
 			pos := pkg.Fset.Position(arg.Pos())
 			tv, ok := pkg.TypesInfo.Types[arg]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {

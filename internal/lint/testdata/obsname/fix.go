@@ -20,6 +20,18 @@ func (r *Registry) Histogram(name string, buckets []int64, labels ...Label) *Cou
 
 func (r *Registry) Event(kind string, fields ...Label) {}
 
+type SpanContext struct{ Trace, Span uint64 }
+
+type SpanHandle struct{}
+
+func (r *Registry) StartSpan(node, name string, parent SpanContext, fields ...Label) *SpanHandle {
+	return nil
+}
+
+func (r *Registry) SpanAt(node, name string, parent SpanContext, start int64, fields ...Label) *SpanHandle {
+	return nil
+}
+
 // notARegistry has the same method names on a different type; it must
 // not be flagged.
 type notARegistry struct{}
@@ -43,4 +55,13 @@ func use(r *Registry, other *notARegistry, dyn string) {
 	r.Event("fix_reconnect")
 	r.Event("fixreconnect") // want "package prefix"
 	other.Counter(dyn)      // different receiver type: clean
+
+	// Span names are policed like metric names; the node label (first
+	// argument) stays dynamic.
+	r.StartSpan(dyn, "fix_open", SpanContext{})
+	r.StartSpan(dyn, dyn, SpanContext{})          // want "static string literal"
+	r.StartSpan(dyn, "Fix_Open", SpanContext{})   // want "snake_case"
+	r.StartSpan(dyn, "venus_open", SpanContext{}) // want "package prefix"
+	r.SpanAt(dyn, "fix_wait", SpanContext{}, 0)
+	r.SpanAt(dyn, "fix-wait", SpanContext{}, 0) // want "snake_case"
 }

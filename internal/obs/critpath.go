@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Critical-path attribution: given a span tree, "where did the time
+// go?" is answered by exclusive self-time — each span's duration minus
+// the union of its children's intervals — folded into a small fixed
+// set of buckets (the paper's §6 suspects: patience waits, retransmit
+// backoff, fragment serialization on the weak link, fsync, failover,
+// server apply). Self-time, not inclusive time, so the buckets of one
+// tree sum to exactly the root's elapsed time and nothing is counted
+// twice.
+
+// CriticalPathBuckets lists every bucket in canonical order. "other"
+// absorbs spans with no mapped bucket and every root's own self-time.
+var CriticalPathBuckets = []string{
+	"patience_wait",
+	"retransmit",
+	"fragment_serialization",
+	"fsync",
+	"failover",
+	"server_apply",
+	"other",
+}
+
+// CriticalPathBucket maps a span name to its attribution bucket.
+func CriticalPathBucket(name string) string {
+	switch name {
+	case "venus_patience_wait":
+		return "patience_wait"
+	case "rpc2_retransmit_wait":
+		return "retransmit"
+	case "venus_fragment_ship", "sftp_transfer", "sftp_receive":
+		return "fragment_serialization"
+	case "wal_fsync":
+		return "fsync"
+	case "venus_failover_wait":
+		return "failover"
+	case "server_apply", "wal_append":
+		return "server_apply"
+	}
+	return "other"
+}
+
+// CriticalPath attributes the elapsed time of every ended root span
+// named rootName (across all of spans' traces) to exclusive self-time
+// buckets. The result has an entry for every CriticalPathBuckets name,
+// zero when nothing landed there; the values sum to the roots' total
+// elapsed time.
+func CriticalPath(spans []Span, rootName string) map[string]time.Duration {
+	out := make(map[string]time.Duration, len(CriticalPathBuckets))
+	for _, b := range CriticalPathBuckets {
+		out[b] = 0
+	}
+
+	ended := make([]*Span, 0, len(spans))
+	byID := make(map[uint64]*Span, len(spans))
+	children := make(map[uint64][]*Span)
+	for i := range spans {
+		if !spans[i].Ended {
+			continue
+		}
+		sp := &spans[i]
+		ended = append(ended, sp)
+		byID[sp.ID] = sp
+	}
+	for _, sp := range ended {
+		if sp.Parent != 0 {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+
+	for _, root := range ended {
+		if root.Name != rootName {
+			continue
+		}
+		if root.Parent != 0 {
+			if _, ok := byID[root.Parent]; ok {
+				continue // only true tree roots
+			}
+		}
+		// Iterative DFS with a visited set: IDs are unique so cycles
+		// cannot form, but a corrupt table must not hang the analyzer.
+		visited := make(map[uint64]bool)
+		stack := []*Span{root}
+		for len(stack) > 0 {
+			sp := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[sp.ID] {
+				continue
+			}
+			visited[sp.ID] = true
+			out[CriticalPathBucket(sp.Name)] += selfTime(sp, children[sp.ID])
+			stack = append(stack, children[sp.ID]...)
+		}
+	}
+	return out
+}
+
+// CriticalPath is the registry-level convenience over Spans().
+func (r *Registry) CriticalPath(rootName string) map[string]time.Duration {
+	return CriticalPath(r.Spans(), rootName)
+}
+
+// selfTime is sp's duration minus the union of its children's
+// intervals, each clamped to sp's own interval.
+func selfTime(sp *Span, kids []*Span) time.Duration {
+	total := sp.End.Sub(sp.Start)
+	if total <= 0 || len(kids) == 0 {
+		if total < 0 {
+			return 0
+		}
+		return total
+	}
+	type iv struct{ s, e time.Time }
+	ivs := make([]iv, 0, len(kids))
+	for _, k := range kids {
+		s, e := k.Start, k.End
+		if s.Before(sp.Start) {
+			s = sp.Start
+		}
+		if e.After(sp.End) {
+			e = sp.End
+		}
+		if e.After(s) {
+			ivs = append(ivs, iv{s, e})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s.Before(ivs[j].s) })
+	var covered time.Duration
+	var curS, curE time.Time
+	for i, v := range ivs {
+		if i == 0 || v.s.After(curE) {
+			covered += curE.Sub(curS)
+			curS, curE = v.s, v.e
+			continue
+		}
+		if v.e.After(curE) {
+			curE = v.e
+		}
+	}
+	covered += curE.Sub(curS)
+	if covered >= total {
+		return 0
+	}
+	return total - covered
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event / Perfetto JSON export. The file must be
+// byte-identical across two identical seeded runs, but raw span IDs
+// depend on goroutine interleaving at one sim instant, so the exporter
+// renumbers everything by content: spans are arranged into trees,
+// every subtree gets a canonical key built purely from span content
+// (start, node, name, fields, end) plus its children's keys, siblings
+// and roots are sorted by that key, and a pre-order DFS assigns the
+// sequential export IDs that appear in the file. Two runs that record
+// the same spans therefore emit the same bytes no matter how the raw
+// IDs were interleaved.
+
+// traceEvent is one Chrome trace-event object. Fixed struct field
+// order (encoding/json preserves it) keeps the output deterministic.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int64  `json:"tid"`
+	Args any    `json:"args,omitempty"`
+}
+
+// spanArgs annotates a ph="X" event with the renumbered identity.
+type spanArgs struct {
+	Span   int64  `json:"span"`
+	Parent int64  `json:"parent"`
+	Trace  int64  `json:"trace"`
+	Fields string `json:"fields,omitempty"`
+}
+
+type metaArgs struct {
+	Name string `json:"name"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+type expNode struct {
+	sp       *Span
+	children []*expNode
+	key      string
+}
+
+// ExportTrace renders every ended span as Chrome trace-event JSON
+// (complete "X" events, one process per node label, one thread per
+// trace tree), deterministic and byte-identical for identical seeded
+// runs. A nil registry exports an empty, still-valid document.
+func (r *Registry) ExportTrace() []byte {
+	spans := r.Spans()
+
+	nodes := make([]*expNode, 0, len(spans))
+	byID := make(map[uint64]*expNode, len(spans))
+	for i := range spans {
+		if !spans[i].Ended {
+			continue
+		}
+		n := &expNode{sp: &spans[i]}
+		nodes = append(nodes, n)
+		byID[spans[i].ID] = n
+	}
+	var roots []*expNode
+	for _, n := range nodes {
+		if p, ok := byID[n.sp.Parent]; ok && n.sp.Parent != 0 {
+			p.children = append(p.children, n)
+		} else {
+			// True roots, plus orphans whose parent was dropped or
+			// never ended — exporting them flat beats losing them.
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range nodes {
+		if n.key == "" {
+			keyOf(n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].key < roots[j].key })
+
+	// Process IDs: node labels sorted, numbered from 1.
+	labelSet := make(map[string]bool)
+	for _, n := range nodes {
+		labelSet[n.sp.Node] = true
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	pid := make(map[string]int, len(labels))
+	doc := traceDoc{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for i, l := range labels {
+		pid[l] = i + 1
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1, Args: metaArgs{Name: l},
+		})
+	}
+
+	// Pre-order DFS over sorted roots assigns export IDs; each root's
+	// tree is one thread (tid = 1-based root index).
+	nextID := int64(0)
+	for ti, root := range roots {
+		var walk func(n *expNode, parent int64)
+		walk = func(n *expNode, parent int64) {
+			nextID++
+			id := nextID
+			sp := n.sp
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   sp.Start.UnixMicro(),
+				Dur:  sp.End.Sub(sp.Start).Microseconds(),
+				Pid:  pid[sp.Node],
+				Tid:  int64(ti + 1),
+				Args: spanArgs{Span: id, Parent: parent, Trace: int64(ti + 1), Fields: fieldsString(sp.Fields)},
+			})
+			kids := append([]*expNode(nil), n.children...)
+			sort.Slice(kids, func(i, j int) bool { return kids[i].key < kids[j].key })
+			for _, k := range kids {
+				walk(k, id)
+			}
+		}
+		walk(root, 0)
+	}
+
+	out, err := json.Marshal(doc)
+	if err != nil {
+		// Only plain structs and strings are marshaled; this cannot
+		// fail, but an exporter must never panic a run.
+		return []byte("{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n")
+	}
+	return append(out, '\n')
+}
+
+// keyOf computes n's canonical subtree key post-order: own content,
+// then the sorted keys of the children. Identical keys mean identical
+// subtrees, so any sort tie is emission-order irrelevant.
+func keyOf(n *expNode) string {
+	if n.key != "" {
+		return n.key
+	}
+	sp := n.sp
+	own := strconv.FormatInt(sp.Start.UnixMicro(), 10) + "\x00" +
+		sp.Node + "\x00" + sp.Name + "\x00" + fieldsKey(sp.Fields) + "\x00" +
+		strconv.FormatInt(sp.End.UnixMicro(), 10)
+	if len(n.children) == 0 {
+		n.key = own
+		return own
+	}
+	kids := make([]string, 0, len(n.children))
+	for _, k := range n.children {
+		kids = append(kids, keyOf(k))
+	}
+	sort.Strings(kids)
+	for _, k := range kids {
+		own += "\x01" + k
+	}
+	n.key = own
+	return own
+}
+
+// fieldsString renders span fields compactly for the args payload.
+func fieldsString(fs []Field) string {
+	s := ""
+	for i, f := range fs {
+		if i > 0 {
+			s += " "
+		}
+		s += f.Key + "=" + f.Value
+	}
+	return s
+}

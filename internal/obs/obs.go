@@ -166,23 +166,69 @@ type Registry struct {
 	// snapshot never holds mu while evaluating gauge funcs, so no lock
 	// cycle can form through the registry.
 	evMu         sync.Mutex
-	events       []Event // ring buffer, traceCap entries
+	events       []Event // ring buffer, eventCap entries
+	eventCap     int     // ring capacity, traceCap unless WithEventCap
 	eventsNext   int     // next write slot
 	eventsFilled bool    // ring has wrapped at least once
 	dropped      int64   // events overwritten after wrap
+
+	// The span table (span.go) has the same isolation property: span
+	// minting/ending under spanMu never calls out of the package.
+	spanMu       sync.Mutex
+	spans        []*Span
+	spanCap      int // table capacity, defaultSpanCap unless WithSpanCap
+	spanSeqs     map[string]*spanSeq
+	spansDropped int64
+
+	// Drop counters are registered metrics (every dump shows them, and
+	// scenario asserts can bound them) as well as plain fields behind
+	// the DroppedEvents/DroppedSpans accessors.
+	evDropC *Counter
+	spDropC *Counter
 }
 
-// traceCap bounds the event ring. Events are low-volume (state
-// transitions, recovery summaries), so overflow means something is
-// misusing Event as a per-packet log.
+// traceCap bounds the event ring by default. Events are low-volume
+// (state transitions, recovery summaries), so overflow means something
+// is misusing Event as a per-packet log.
 const traceCap = 8192
 
-// NewRegistry returns an empty registry stamping events from clock.
-func NewRegistry(clock simtime.Clock) *Registry {
-	return &Registry{
-		clock:   clock,
-		metrics: make(map[string]*metric),
+// Option configures a Registry at construction time.
+type Option func(*Registry)
+
+// WithEventCap sets the event ring capacity (default 8192). Fleet-scale
+// worlds size per-shard registries down with this; n <= 0 is ignored.
+func WithEventCap(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.eventCap = n
+		}
 	}
+}
+
+// WithSpanCap sets the span table capacity (default 65536); n <= 0 is
+// ignored.
+func WithSpanCap(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.spanCap = n
+		}
+	}
+}
+
+// NewRegistry returns an empty registry stamping events from clock.
+func NewRegistry(clock simtime.Clock, opts ...Option) *Registry {
+	r := &Registry{
+		clock:    clock,
+		metrics:  make(map[string]*metric),
+		eventCap: traceCap,
+		spanCap:  defaultSpanCap,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.evDropC = r.Counter("obs_events_dropped_total")
+	r.spDropC = r.Counter("obs_spans_dropped_total")
+	return r
 }
 
 // lookup returns the metric for (name, labels), creating it with make

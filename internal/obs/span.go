@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Causal span tracing. A span is a timed interval on one node with a
+// (trace, span, parent) identity; spans form trees that cross nodes
+// because the SpanContext travels on the wire (rpc2 packet header,
+// sftp fragment header). IDs are minted deterministically from the
+// seeded world: no wall clock, no randomness — each registry keeps a
+// per-node-label counter, and a span's ID is (node index, node-local
+// sequence). Raw IDs still depend on goroutine interleaving at the
+// same sim instant, so every deterministic consumer (ExportTrace, the
+// scenario golden files) renumbers spans by content, never by raw ID.
+//
+// A nil *Registry, and the nil *SpanHandle it returns, are fully
+// inert, mirroring the metric handles. Sites that only want to trace
+// inside an existing tree guard on parent.Valid() so an untraced
+// operation mints nothing at all.
+
+// SpanContext identifies a span for propagation: Trace is the root
+// span's ID, Span the current span's. The zero value means "no trace"
+// and is what untraced wire traffic carries (all-zero header bytes).
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+// Span is one recorded span. Parent is zero for a root; Trace equals
+// the root span's ID for every span in the tree (a root's Trace is its
+// own ID). End/Ended are set by SpanHandle.End.
+type Span struct {
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+	Node   string
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Ended  bool
+	Fields []Field
+}
+
+// Duration is End-Start for an ended span, zero otherwise.
+func (s *Span) Duration() time.Duration {
+	if !s.Ended {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// spanSeq is one node label's ID allocator: idx is the order the label
+// was first seen by this registry, seq the per-label sequence.
+type spanSeq struct {
+	idx uint64
+	seq uint64
+}
+
+// defaultSpanCap bounds the span table. Spans are per-operation, not
+// per-packet, so a long replay mints tens of thousands at most; once
+// the table is full new spans are dropped (counted, and returning an
+// invalid context so their would-be children are suppressed too —
+// partial trees would make the retained set interleaving-dependent).
+const defaultSpanCap = 65536
+
+// SpanHandle is the live handle for an in-flight span. A nil handle
+// (nil registry, or a dropped span) is inert: End is a no-op and
+// Context returns the zero SpanContext.
+type SpanHandle struct {
+	r  *Registry
+	sp *Span
+	sc SpanContext
+}
+
+// StartSpan starts a span on node (a stable node label: the same
+// client=/node= value the metrics use) beginning now. name must be a
+// static snake_case literal with a package prefix — the codalint
+// obsname analyzer enforces this, same as metric names. A zero parent
+// starts a new root whose Trace is its own ID.
+func (r *Registry) StartSpan(node, name string, parent SpanContext, fields ...Field) *SpanHandle {
+	if r == nil {
+		return nil
+	}
+	var now time.Time
+	if r.clock != nil {
+		now = r.clock.Now()
+	}
+	return r.startSpanAt(node, name, parent, now, fields)
+}
+
+// SpanAt is StartSpan with an explicit start instant, for spans whose
+// extent is only known after the fact (a failover wait measured around
+// a call that timed out). start must come from the same injected clock
+// domain as everything else.
+func (r *Registry) SpanAt(node, name string, parent SpanContext, start time.Time, fields ...Field) *SpanHandle {
+	if r == nil {
+		return nil
+	}
+	return r.startSpanAt(node, name, parent, start, fields)
+}
+
+func (r *Registry) startSpanAt(node, name string, parent SpanContext, start time.Time, fields []Field) *SpanHandle {
+	var fs []Field
+	if len(fields) > 0 {
+		fs = make([]Field, len(fields))
+		copy(fs, fields)
+	}
+	sp := &Span{Parent: parent.Span, Node: node, Name: name, Start: start, Fields: fs}
+
+	r.spanMu.Lock()
+	cap := r.spanCap
+	if cap == 0 {
+		cap = defaultSpanCap
+	}
+	if len(r.spans) >= cap {
+		r.spansDropped++
+		r.spanMu.Unlock()
+		r.spDropC.Inc()
+		return &SpanHandle{}
+	}
+	if r.spanSeqs == nil {
+		r.spanSeqs = make(map[string]*spanSeq)
+	}
+	seq := r.spanSeqs[node]
+	if seq == nil {
+		seq = &spanSeq{idx: uint64(len(r.spanSeqs))}
+		r.spanSeqs[node] = seq
+	}
+	seq.seq++
+	sp.ID = seq.idx<<40 | seq.seq
+	if parent.Valid() {
+		sp.Trace = parent.Trace
+	} else {
+		sp.Trace = sp.ID
+	}
+	r.spans = append(r.spans, sp)
+	r.spanMu.Unlock()
+	return &SpanHandle{r: r, sp: sp, sc: SpanContext{Trace: sp.Trace, Span: sp.ID}}
+}
+
+// Context returns the span's propagation context (zero on a nil or
+// dropped handle, so children of a dropped span are suppressed too).
+func (h *SpanHandle) Context() SpanContext {
+	if h == nil {
+		return SpanContext{}
+	}
+	return h.sc
+}
+
+// End finishes the span at the registry clock's current instant,
+// appending any extra fields. Ending twice keeps the first end.
+func (h *SpanHandle) End(fields ...Field) {
+	if h == nil || h.sp == nil {
+		return
+	}
+	var now time.Time
+	if h.r.clock != nil {
+		now = h.r.clock.Now()
+	}
+	h.EndAt(now, fields...)
+}
+
+// EndAt is End at an explicit instant from the injected clock domain.
+func (h *SpanHandle) EndAt(end time.Time, fields ...Field) {
+	if h == nil || h.sp == nil {
+		return
+	}
+	h.r.spanMu.Lock()
+	if !h.sp.Ended {
+		h.sp.Ended = true
+		h.sp.End = end
+		if len(fields) > 0 {
+			h.sp.Fields = append(h.sp.Fields, fields...)
+		}
+	}
+	h.r.spanMu.Unlock()
+}
+
+// Spans returns copies of every recorded span, content-sorted by
+// (start, node, name, fields, end) — the same contract as Events: raw
+// IDs and arrival order vary with goroutine interleaving at one sim
+// instant, content does not.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	out := make([]Span, 0, len(r.spans))
+	for _, sp := range r.spans {
+		c := *sp
+		if len(sp.Fields) > 0 {
+			c.Fields = make([]Field, len(sp.Fields))
+			copy(c.Fields, sp.Fields)
+		}
+		out = append(out, c)
+	}
+	r.spanMu.Unlock()
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if ka, kb := fieldsKey(a.Fields), fieldsKey(b.Fields); ka != kb {
+			return ka < kb
+		}
+		return a.End.Before(b.End)
+	})
+	return out
+}
+
+// DroppedSpans reports how many spans the bounded table has refused.
+func (r *Registry) DroppedSpans() int64 {
+	if r == nil {
+		return 0
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	return r.spansDropped
+}

@@ -22,8 +22,9 @@ type Event struct {
 }
 
 // Event appends a trace event stamped from the registry's injected
-// clock. The ring holds the most recent traceCap events; older ones are
-// overwritten and counted as dropped.
+// clock. The ring holds the most recent eventCap events; older ones
+// are overwritten, counted both in obs_events_dropped_total and the
+// DroppedEvents accessor.
 func (r *Registry) Event(kind string, fields ...Field) {
 	if r == nil {
 		return
@@ -39,10 +40,15 @@ func (r *Registry) Event(kind string, fields ...Field) {
 	r.evMu.Lock()
 	defer r.evMu.Unlock()
 	if r.events == nil {
-		r.events = make([]Event, traceCap)
+		cap := r.eventCap
+		if cap == 0 {
+			cap = traceCap
+		}
+		r.events = make([]Event, cap)
 	}
 	if r.eventsFilled {
 		r.dropped++
+		r.evDropC.Inc()
 	}
 	r.events[r.eventsNext] = e
 	r.eventsNext++

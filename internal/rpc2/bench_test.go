@@ -3,6 +3,8 @@ package rpc2
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // nullConn swallows packets so the benchmarks measure framing, not the
@@ -24,11 +26,11 @@ func (nullConn) Close() error      { return nil }
 func BenchmarkAllocSendPacket(b *testing.B) {
 	n := &Node{conn: nullConn{}}
 	body := make([]byte, 256)
-	n.sendPacket("dst", kindReq, 0, 1, 2, 3, 4, body) // warm the pool
+	n.sendPacket("dst", kindReq, 0, 1, 2, 3, 4, obs.SpanContext{}, body) // warm the pool
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.sendPacket("dst", kindReq, 0, uint64(i), 2, 3, 4, body)
+		n.sendPacket("dst", kindReq, 0, uint64(i), 2, 3, 4, obs.SpanContext{}, body)
 	}
 }
 

@@ -94,9 +94,12 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "rpc2: remote: " + e.Msg }
 
-// Handler serves incoming calls. Returning a non-nil error ships the error
-// string to the caller as a RemoteError.
-type Handler func(src string, body []byte) ([]byte, error)
+// Handler serves incoming calls. sc is the caller's span context as
+// carried in the packet header (zero when the call is untraced);
+// handlers pass it to StartSpan so server-side work joins the caller's
+// trace tree. Returning a non-nil error ships the error string to the
+// caller as a RemoteError.
+type Handler func(src string, sc obs.SpanContext, body []byte) ([]byte, error)
 
 // CallOpts tunes one call.
 type CallOpts struct {
@@ -105,6 +108,11 @@ type CallOpts struct {
 	// MaxRetries bounds header retransmissions; zero means
 	// DefaultMaxRetries. Negative means no retries.
 	MaxRetries int
+	// Span, when valid, makes this call part of a trace: the node mints
+	// an rpc2_call child span and propagates its context in the packet
+	// header (and through SFTP side effects). Zero leaves the call
+	// untraced — zero header bytes, no span minted.
+	Span obs.SpanContext
 }
 
 // Node is one RPC2 endpoint: a datagram socket plus an SFTP engine, a
@@ -132,6 +140,10 @@ type Node struct {
 	// replies. Receivers flush a peer's cache when its incarnation
 	// changes, and callers discard echoes from a previous life.
 	inc uint32
+
+	// reg/self mint rpc2 spans (reg may be nil: tracing inert).
+	reg  *obs.Registry
+	self string
 
 	met nodeMetrics
 }
@@ -196,6 +208,8 @@ func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, h
 		// means "no echo" on the wire).
 		epoch: clock.Now().Add(-time.Millisecond),
 		inc:   incarnation(clock),
+		reg:   reg,
+		self:  self,
 		met: nodeMetrics{
 			calls:       reg.Counter("rpc2_calls_total", node),
 			inflight:    reg.Gauge("rpc2_calls_inflight", node),
@@ -209,7 +223,7 @@ func NewNode(clock simtime.Clock, conn netsim.PacketConn, mon *netmon.Monitor, h
 	}
 	reg.GaugeFunc("rpc2_reply_cache_peers", func() int64 { return int64(n.ReplyCacheSize()) }, node)
 	mon.Observe(reg, self)
-	n.engine = sftp.NewEngine(clock, mon, n.sendSFTP, reg)
+	n.engine = sftp.NewEngine(clock, mon, n.sendSFTP, reg, self)
 	clock.Go(n.recvLoop)
 	clock.Go(n.sweepReplyCache)
 	return n
@@ -263,7 +277,7 @@ func (n *Node) Monitor() *netmon.Monitor { return n.mon }
 // the peer claims it with AwaitTransfer. Used by the Figure 1 benchmark and
 // available for raw bulk movement.
 func (n *Node) Transfer(dst string, id uint64, data []byte) error {
-	return n.engine.Send(dst, userXferID(id), data)
+	return n.engine.Send(dst, userXferID(id), data, obs.SpanContext{})
 }
 
 // AwaitTransfer receives a raw transfer sent with Transfer.
@@ -318,12 +332,24 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 	start := n.clock.Now()
 	deadline := start.Add(opts.Timeout)
 
+	// A valid parent context makes this call one rpc2_call span in the
+	// caller's tree; its own context travels in every packet copy (and
+	// with SFTP side effects). Untraced calls mint nothing and carry
+	// zero header bytes.
+	var sp *obs.SpanHandle
+	wireCtx := obs.SpanContext{}
+	if opts.Span.Valid() {
+		sp = n.reg.StartSpan(n.self, "rpc2_call", opts.Span, obs.F("dst", dst))
+		wireCtx = sp.Context()
+	}
+	defer sp.End()
+
 	flags := byte(0)
 	wireBody := body
 	if len(body) > InlineLimit {
 		// Ship the body via SFTP first; the header packet then refers
 		// to the completed transfer.
-		if err := n.engine.Send(dst, reqXferID(seq), body); err != nil {
+		if err := n.engine.Send(dst, reqXferID(seq), body, wireCtx); err != nil {
 			return nil, fmt.Errorf("rpc2: request side effect: %w", err)
 		}
 		flags |= flagBodyViaSFTP
@@ -331,7 +357,7 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 	}
 
 	send := func() {
-		n.sendPacket(dst, kindReq, flags, seq, n.ticks(), 0, n.inc, wireBody)
+		n.sendPacket(dst, kindReq, flags, seq, n.ticks(), 0, n.inc, wireCtx, wireBody)
 	}
 	send()
 
@@ -347,6 +373,7 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 		if wait > remain {
 			wait = remain
 		}
+		waitStart := n.clock.Now()
 		in, ok := replies.GetTimeout(wait)
 		if !ok {
 			n.mu.Lock()
@@ -365,6 +392,11 @@ func (n *Node) Call(dst string, body []byte, opts CallOpts) ([]byte, error) {
 				rto = netmon.MaxRTO
 			}
 			n.met.retransmits.Inc()
+			if wireCtx.Valid() {
+				// The RTO the caller just burned waiting, attributed as
+				// retransmit time on the critical path.
+				n.reg.SpanAt(n.self, "rpc2_retransmit_wait", wireCtx, waitStart).End()
+			}
 			send()
 			continue
 		}
@@ -421,7 +453,7 @@ func (n *Node) Probe(dst string, timeout time.Duration) error {
 	deadline := n.clock.Now().Add(timeout)
 	rto := peer.RTO()
 	for {
-		n.sendPacket(dst, kindProbe, 0, seq, n.ticks(), 0, n.inc, nil)
+		n.sendPacket(dst, kindProbe, 0, seq, n.ticks(), 0, n.inc, obs.SpanContext{}, nil)
 		remain := deadline.Sub(n.clock.Now())
 		if remain <= 0 {
 			return fmt.Errorf("%w: probe %s", ErrTimeout, dst)
@@ -454,13 +486,13 @@ func (n *Node) recvLoop() {
 			n.engine.Deliver(src, payload[1:])
 			continue
 		}
-		kind, flags, seq, ts, tsEcho, inc, body, ok := decodePacket(payload)
+		kind, flags, seq, ts, tsEcho, inc, sc, body, ok := decodePacket(payload)
 		if !ok {
 			continue
 		}
 		switch kind {
 		case kindReq:
-			n.handleRequest(src, flags, seq, ts, inc, body)
+			n.handleRequest(src, flags, seq, ts, inc, sc, body)
 		case kindRep, kindBusy:
 			if inc != n.inc {
 				continue // reply addressed to a previous incarnation of this node
@@ -472,7 +504,7 @@ func (n *Node) recvLoop() {
 				q.Put(inbound{kind: kind, flags: flags, tsEcho: tsEcho, inc: inc, body: body, src: src})
 			}
 		case kindProbe:
-			n.sendPacket(src, kindProbeAck, 0, seq, n.ticks(), ts, inc, nil)
+			n.sendPacket(src, kindProbeAck, 0, seq, n.ticks(), ts, inc, obs.SpanContext{}, nil)
 		case kindProbeAck:
 			if inc != n.inc {
 				continue
@@ -488,7 +520,7 @@ func (n *Node) recvLoop() {
 	}
 }
 
-func (n *Node) handleRequest(src string, flags byte, seq uint64, ts, inc uint32, body []byte) {
+func (n *Node) handleRequest(src string, flags byte, seq uint64, ts, inc uint32, sc obs.SpanContext, body []byte) {
 	n.mu.Lock()
 	pc := n.replyCache[src]
 	if pc == nil || pc.inc != inc {
@@ -503,12 +535,12 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts, inc uint32,
 	if rep, done := pc.replies[seq]; done {
 		n.mu.Unlock()
 		n.met.dupReplies.Inc()
-		n.sendPacket(src, kindRep, rep.flags, seq, n.ticks(), ts, inc, rep.body)
+		n.sendPacket(src, kindRep, rep.flags, seq, n.ticks(), ts, inc, obs.SpanContext{}, rep.body)
 		return
 	}
 	if pc.inProgress[seq] {
 		n.mu.Unlock()
-		n.sendPacket(src, kindBusy, 0, seq, n.ticks(), ts, inc, nil)
+		n.sendPacket(src, kindBusy, 0, seq, n.ticks(), ts, inc, obs.SpanContext{}, nil)
 		return
 	}
 	pc.inProgress[seq] = true
@@ -533,7 +565,7 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts, inc uint32,
 		if n.handler == nil {
 			repFlags = flagAppError
 			repBody = []byte("no handler")
-		} else if out, err := n.handler(src, reqBody); err != nil {
+		} else if out, err := n.handler(src, sc, reqBody); err != nil {
 			repFlags = flagAppError
 			repBody = []byte(err.Error())
 		} else {
@@ -542,7 +574,9 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts, inc uint32,
 
 		wire := repBody
 		if len(repBody) > InlineLimit {
-			if err := n.engine.Send(src, repXferID(seq), repBody); err != nil {
+			// The reply side effect carries the caller's context so the
+			// receive lands in the caller's rpc2_call span.
+			if err := n.engine.Send(src, repXferID(seq), repBody, sc); err != nil {
 				n.mu.Lock()
 				delete(pc.inProgress, seq)
 				n.mu.Unlock()
@@ -561,7 +595,7 @@ func (n *Node) handleRequest(src string, flags byte, seq uint64, ts, inc uint32,
 			pc.order = pc.order[1:]
 		}
 		n.mu.Unlock()
-		n.sendPacket(src, kindRep, repFlags, seq, n.ticks(), ts, inc, wire)
+		n.sendPacket(src, kindRep, repFlags, seq, n.ticks(), ts, inc, obs.SpanContext{}, wire)
 	})
 }
 
@@ -601,31 +635,37 @@ func repXferID(seq uint64) uint64 { return seq<<2 | 1 }
 func userXferID(id uint64) uint64 { return id<<2 | 2 }
 
 // packetHeader is the framed size of everything before the body:
-// kind(1) flags(1) seq(8) ts(4) tsEcho(4) inc(4).
-const packetHeader = 22
+// kind(1) flags(1) seq(8) ts(4) tsEcho(4) inc(4) trace(8) span(8).
+// The trailing 16 bytes are the span context (PR 9); all-zero means
+// the packet is untraced.
+const packetHeader = 38
 
 // appendPacket frames one packet into dst (the caller owns the buffer)
 // and returns the extended slice.
 //
 //codalint:hotpath rpc2 wire framing
-func appendPacket(dst []byte, kind, flags byte, seq uint64, ts, tsEcho, inc uint32, body []byte) []byte {
+func appendPacket(dst []byte, kind, flags byte, seq uint64, ts, tsEcho, inc uint32, sc obs.SpanContext, body []byte) []byte {
 	dst = append(dst, kind, flags)
 	dst = binary.BigEndian.AppendUint64(dst, seq)
 	dst = binary.BigEndian.AppendUint32(dst, ts)
 	dst = binary.BigEndian.AppendUint32(dst, tsEcho)
 	dst = binary.BigEndian.AppendUint32(dst, inc)
+	dst = binary.BigEndian.AppendUint64(dst, sc.Trace)
+	dst = binary.BigEndian.AppendUint64(dst, sc.Span)
 	return append(dst, body...)
 }
 
 // sendPacket frames one packet into a pooled buffer and hands it to the
 // conn. PacketConn.Send must not retain the payload, so the buffer goes
 // straight back to the pool: steady-state sends touch the heap zero
-// times (pinned by BenchmarkAllocSendPacket and the benchgate).
+// times (pinned by BenchmarkAllocSendPacket and the benchgate). The
+// span context is two fixed header words — propagation costs no
+// allocations either way.
 //
 //codalint:hotpath rpc2 wire framing
-func (n *Node) sendPacket(dst string, kind, flags byte, seq uint64, ts, tsEcho, inc uint32, body []byte) {
+func (n *Node) sendPacket(dst string, kind, flags byte, seq uint64, ts, tsEcho, inc uint32, sc obs.SpanContext, body []byte) {
 	bp := bufpool.Get(packetHeader + len(body))
-	*bp = appendPacket(*bp, kind, flags, seq, ts, tsEcho, inc, body)
+	*bp = appendPacket(*bp, kind, flags, seq, ts, tsEcho, inc, sc, body)
 	_ = n.conn.Send(dst, *bp)
 	bufpool.Put(bp)
 }
@@ -648,11 +688,13 @@ func (n *Node) sendSFTP(dst string, payload []byte) error {
 // copied.
 //
 //codalint:hotpath rpc2 wire parsing
-func decodePacket(p []byte) (kind, flags byte, seq uint64, ts, tsEcho, inc uint32, body []byte, ok bool) {
+func decodePacket(p []byte) (kind, flags byte, seq uint64, ts, tsEcho, inc uint32, sc obs.SpanContext, body []byte, ok bool) {
 	if len(p) < packetHeader {
-		return 0, 0, 0, 0, 0, 0, nil, false
+		return
 	}
+	sc.Trace = binary.BigEndian.Uint64(p[22:])
+	sc.Span = binary.BigEndian.Uint64(p[30:])
 	return p[0], p[1], binary.BigEndian.Uint64(p[2:]),
 		binary.BigEndian.Uint32(p[10:]), binary.BigEndian.Uint32(p[14:]),
-		binary.BigEndian.Uint32(p[18:]), p[packetHeader:], true
+		binary.BigEndian.Uint32(p[18:]), sc, p[packetHeader:], true
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // TestTimestampWraparound: the 32-bit microsecond timestamp wraps every
@@ -59,7 +60,7 @@ func TestReplyCacheEviction(t *testing.T) {
 func TestLargeRequestAndReplyBothViaSFTP(t *testing.T) {
 	w := newWorld(22, netsim.WaveLan.Params())
 	w.sim.Run(func() {
-		w.node("server", func(src string, body []byte) ([]byte, error) {
+		w.node("server", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			// Reply with the reversed body (also large).
 			out := make([]byte, len(body))
 			for i, b := range body {
@@ -85,7 +86,7 @@ func TestManyPeersIsolation(t *testing.T) {
 	w := newWorld(23, netsim.Ethernet.Params())
 	w.sim.Run(func() {
 		hits := make(map[string]int)
-		srv := w.node("server", func(src string, body []byte) ([]byte, error) {
+		srv := w.node("server", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			hits[src]++
 			return body, nil
 		})

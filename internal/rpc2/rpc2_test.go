@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -28,7 +29,7 @@ func (w *world) node(name string, h Handler) *Node {
 	return NewNode(w.sim, w.net.Host(name), netmon.NewMonitor(w.sim), h, nil)
 }
 
-func echoHandler(src string, body []byte) ([]byte, error) {
+func echoHandler(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 	return body, nil
 }
 
@@ -50,7 +51,7 @@ func TestCallRoundTrip(t *testing.T) {
 func TestCallRemoteError(t *testing.T) {
 	w := newWorld(2, netsim.Ethernet.Params())
 	w.sim.Run(func() {
-		w.node("server", func(src string, body []byte) ([]byte, error) {
+		w.node("server", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			return nil, fmt.Errorf("permission denied")
 		})
 		c := w.node("client", nil)
@@ -122,7 +123,7 @@ func TestAtMostOnceExecution(t *testing.T) {
 	w := newWorld(6, p)
 	w.sim.Run(func() {
 		counts := make(map[string]int)
-		w.node("server", func(src string, body []byte) ([]byte, error) {
+		w.node("server", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			counts[string(body)]++
 			return body, nil
 		})
@@ -149,7 +150,7 @@ func TestBusyKeepsSlowCallAlive(t *testing.T) {
 	w := newWorld(7, netsim.Ethernet.Params())
 	w.sim.Run(func() {
 		srv := w.node("server", nil)
-		srv.handler = func(src string, body []byte) ([]byte, error) {
+		srv.handler = func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			w.sim.Sleep(45 * time.Second) // longer than several RTOs
 			return []byte("done"), nil
 		}
@@ -248,7 +249,7 @@ func TestServerCallsClient(t *testing.T) {
 	w := newWorld(12, netsim.Ethernet.Params())
 	w.sim.Run(func() {
 		var gotBreak []byte
-		w.node("client", func(src string, body []byte) ([]byte, error) {
+		w.node("client", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			gotBreak = body
 			return nil, nil
 		})
@@ -265,7 +266,7 @@ func TestServerCallsClient(t *testing.T) {
 func TestConcurrentCalls(t *testing.T) {
 	w := newWorld(13, netsim.WaveLan.Params())
 	w.sim.Run(func() {
-		w.node("server", func(src string, body []byte) ([]byte, error) {
+		w.node("server", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			w.sim.Sleep(time.Duration(body[0]) * time.Millisecond)
 			return body, nil
 		})
@@ -293,7 +294,7 @@ func TestConcurrentCalls(t *testing.T) {
 func TestCloseFailsPendingCalls(t *testing.T) {
 	w := newWorld(14, netsim.Ethernet.Params())
 	w.sim.Run(func() {
-		w.node("server", func(src string, body []byte) ([]byte, error) {
+		w.node("server", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			w.sim.Sleep(time.Hour)
 			return nil, nil
 		})
@@ -344,7 +345,7 @@ func TestReplyCacheFlushedOnClientRestart(t *testing.T) {
 	w := newWorld(11, netsim.Ethernet.Params())
 	w.sim.Run(func() {
 		var calls int
-		w.node("server", func(src string, body []byte) ([]byte, error) {
+		w.node("server", func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 			calls++
 			return []byte(fmt.Sprintf("exec %d: %s", calls, body)), nil
 		})

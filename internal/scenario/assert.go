@@ -50,6 +50,8 @@ func (w *world) checkAssert(a *Assert, res *Result) (bool, string) {
 			return false, fmt.Sprintf("%s state = %s, want %s", a.Client, got, a.State)
 		}
 		return true, fmt.Sprintf("%s state = %s", a.Client, got)
+	case AssertSpans:
+		return w.checkSpans(a)
 	}
 	return false, fmt.Sprintf("unhandled assert kind %q", a.Kind)
 }
@@ -116,6 +118,25 @@ func (w *world) checkStamp(a *Assert) (bool, string) {
 		}
 	}
 	return true, fmt.Sprintf("%s: stamp(%s) %s %d on all %d members", a.Target, a.Volume, a.Op, a.N, grp.Len())
+}
+
+// checkSpans bounds the traced spans carrying the asserted name: their
+// count, or the sum of their durations. A count bound against zero
+// holds when no span matched (an operation that never fired leaves no
+// spans), exactly like metric assertions on absent counters.
+func (w *world) checkSpans(a *Assert) (bool, string) {
+	var count, totalUS int64
+	for _, sp := range w.reg.Spans() {
+		if sp.Name != a.Metric {
+			continue
+		}
+		count++
+		totalUS += sp.Duration().Microseconds()
+	}
+	if a.State == "dur" {
+		return cmpInt(fmt.Sprintf("spans %s total duration (us)", a.Metric), totalUS, a.Op, a.Dur.Microseconds())
+	}
+	return cmpInt(fmt.Sprintf("spans %s count", a.Metric), count, a.Op, a.N)
 }
 
 // dumpSeries mirrors the subset of the obs dump a metric assertion

@@ -547,6 +547,33 @@ func parseAssert(c *cursor, lineNo int) (Assert, error) {
 		if a.State, err = c.word("state"); err != nil {
 			return a, err
 		}
+	case AssertSpans:
+		if a.Metric, err = c.word("span name"); err != nil {
+			return a, err
+		}
+		if a.State, err = c.word("spans mode (count or dur)"); err != nil {
+			return a, err
+		}
+		switch a.State {
+		case "count":
+			if a.Op, a.N, err = c.bound(); err != nil {
+				return a, err
+			}
+		case "dur":
+			op, err := c.word("comparison")
+			if err != nil {
+				return a, err
+			}
+			if !isOp(op) {
+				return a, fmt.Errorf("%q is not a comparison operator", op)
+			}
+			a.Op = op
+			if a.Dur, err = c.duration("duration bound"); err != nil {
+				return a, err
+			}
+		default:
+			return a, fmt.Errorf("spans mode %q is not count or dur", a.State)
+		}
 	default:
 		return a, fmt.Errorf("unknown assertion kind %q", kind)
 	}

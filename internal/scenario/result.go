@@ -27,6 +27,12 @@ type Result struct {
 	// Metrics is the obs registry dump captured at schedule end, before
 	// assertions read any state.
 	Metrics json.RawMessage `json:"metrics"`
+
+	// Trace is the Perfetto (Chrome trace-event) export of every span the
+	// run recorded, captured alongside Metrics. It is excluded from
+	// DumpJSON — the golden files pin it separately — and surfaced by the
+	// codascn/codabench -trace flags.
+	Trace []byte `json:"-"`
 }
 
 // AssertResult is one evaluated assertion.

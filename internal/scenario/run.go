@@ -70,6 +70,7 @@ func Run(s *Scenario) (*Result, error) {
 		// reads (client-file fetches bump cache counters) cannot perturb
 		// it; metric assertions read this same snapshot.
 		res.Metrics = w.reg.Dump()
+		res.Trace = w.reg.ExportTrace()
 		for i := range s.Asserts {
 			res.Asserts = append(res.Asserts, w.evalAssert(&s.Asserts[i], res))
 		}

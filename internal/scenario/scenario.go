@@ -185,6 +185,7 @@ const (
 	AssertFailovers  AssertKind = "failovers"   // client failover count bound
 	AssertElapsed    AssertKind = "elapsed"     // schedule elapsed sim-time bound
 	AssertState      AssertKind = "state"       // client end state (hoarding, emulating, ...)
+	AssertSpans      AssertKind = "spans"       // bound on traced spans (count or total duration)
 )
 
 // Assert is one end-state check.
@@ -198,14 +199,14 @@ type Assert struct {
 	Path   string
 	Data   []byte
 
-	Metric string
+	Metric string      // metric name; span name for spans asserts
 	Labels [][2]string // required label subset, sorted by key
 
 	Op  string // == != <= >= < >
 	N   int64
 	Dur time.Duration
 
-	State string
+	State string // client state; "count" or "dur" for spans asserts
 }
 
 // IsTemplate reports whether s declares matrix axes and therefore needs

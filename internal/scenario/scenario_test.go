@@ -180,6 +180,52 @@ func TestGoldenDumps(t *testing.T) {
 	}
 }
 
+// TestGoldenTrace pins the Perfetto span export of the weak-link replay
+// byte-for-byte: two identical seeded runs must serialize the same trace,
+// and that trace must match the checked-in golden file. Regenerate with:
+// go test ./internal/scenario -run Golden -update
+func TestGoldenTrace(t *testing.T) {
+	_, srcs := readCorpus(t)
+	const name = "weaklink_replay"
+	var traces [][]byte
+	for round := 0; round < 2; round++ {
+		s, err := Parse(name, srcs[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatal(res.Failures())
+		}
+		if len(res.Trace) == 0 {
+			t.Fatal("run captured no span trace")
+		}
+		traces = append(traces, res.Trace)
+	}
+	if !bytes.Equal(traces[0], traces[1]) {
+		t.Fatalf("two identical-seed runs exported different traces (%d vs %d bytes)",
+			len(traces[0]), len(traces[1]))
+	}
+	golden := filepath.Join("testdata", "golden", name+".trace.json")
+	if *update {
+		if err := os.WriteFile(golden, traces[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(traces[0], want) {
+		t.Errorf("trace export differs from golden file (%d vs %d bytes); "+
+			"run with -update if the change is intended", len(traces[0]), len(want))
+	}
+}
+
 // TestParseErrors pins the parser's error surface: every malformed
 // input returns a wrapped error naming the line, never a panic.
 func TestParseErrors(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cml"
 	"repro/internal/codafs"
 	"repro/internal/crashfs"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -37,13 +38,13 @@ func BenchmarkAllocJournalBatch(b *testing.B) {
 	}}
 	// Warm gob's global type registry so the first-encode setup cost is
 	// not charged to the steady state.
-	if err := journalBatchLocked(v, "bench-client", recs); err != nil {
+	if err := journalBatchLocked(v, "bench-client", recs, obs.SpanContext{}); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := journalBatchLocked(v, "bench-client", recs); err != nil {
+		if err := journalBatchLocked(v, "bench-client", recs, obs.SpanContext{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cml"
 	"repro/internal/codafs"
 	"repro/internal/delta"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -18,7 +19,7 @@ import (
 // Each handler resolves its request to a volume under the registry lock,
 // then executes entirely inside that volume's domain, so requests for
 // distinct volumes proceed in parallel under rpc2's concurrent dispatch.
-func (s *Server) handle(src string, body []byte) ([]byte, error) {
+func (s *Server) handle(src string, sc obs.SpanContext, body []byte) ([]byte, error) {
 	v, err := wire.Decode(body)
 	if err != nil {
 		return nil, err
@@ -51,42 +52,42 @@ func (s *Server) handle(src string, body []byte) ([]byte, error) {
 		rep, err = s.getVolumeStamp(src, req)
 
 	case wire.StoreOp:
-		rep, err = s.mutate(src, cml.Record{
+		rep, err = s.mutate(src, sc, cml.Record{
 			Kind: cml.Store, FID: req.FID, Data: req.Data,
 			Length: int64(len(req.Data)), PrevVersion: req.PrevVersion,
 		}, req.FID)
 	case wire.SetAttrOp:
-		rep, err = s.mutate(src, cml.Record{
+		rep, err = s.mutate(src, sc, cml.Record{
 			Kind: cml.SetAttr, FID: req.FID, Mode: req.Mode,
 			ModTime: req.ModTime, PrevVersion: req.PrevVersion,
 		}, req.FID)
 	case wire.MakeObject:
-		rep, err = s.makeObject(src, req)
+		rep, err = s.makeObject(src, sc, req)
 	case wire.RemoveOp:
 		kind := cml.Remove
 		if req.Rmdir {
 			kind = cml.Rmdir
 		}
-		rep, err = s.mutate(src, cml.Record{
+		rep, err = s.mutate(src, sc, cml.Record{
 			Kind: kind, FID: req.FID, Parent: req.Parent, Name: req.Name,
 		}, req.Parent)
 	case wire.RenameOp:
-		rep, err = s.mutate(src, cml.Record{
+		rep, err = s.mutate(src, sc, cml.Record{
 			Kind: cml.Rename, FID: req.FID, Parent: req.Parent, Name: req.Name,
 			NewParent: req.NewParent, NewName: req.NewName,
 		}, req.FID)
 	case wire.LinkOp:
-		rep, err = s.mutate(src, cml.Record{
+		rep, err = s.mutate(src, sc, cml.Record{
 			Kind: cml.Link, FID: req.FID, Parent: req.Parent, Name: req.Name,
 		}, req.FID)
 
 	case wire.Reintegrate:
-		rep, err = s.reintegrate(src, req)
+		rep, err = s.reintegrate(src, sc, req)
 	case wire.PutFragment:
 		rep, err = s.putFragment(src, req)
 
 	case wire.ShipLog:
-		rep, err = s.shipLog(src, req)
+		rep, err = s.shipLog(src, sc, req)
 	case wire.FetchLog:
 		rep, err = s.fetchLog(req)
 
@@ -215,12 +216,20 @@ func (s *Server) getVolumeStamp(src string, req wire.GetVolumeStamp) (wire.GetVo
 
 // mutate runs one connected-mode update through the shared apply machinery.
 // repFID selects which touched object's status is returned as Status.
-func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.MutateRep, error) {
+// On a traced call the validate/journal/commit sequence is one
+// server_apply span, with the journal append (and its fsync) as children.
+func (s *Server) mutate(src string, sc obs.SpanContext, rec cml.Record, repFID codafs.FID) (wire.MutateRep, error) {
 	v, ok := s.volByID(rec.FID.Volume)
 	if !ok {
 		return wire.MutateRep{}, fmt.Errorf("no volume %d", rec.FID.Volume)
 	}
 	s.observeVolOp(v)
+	applyCtx := obs.SpanContext{}
+	if sc.Valid() {
+		sp := s.obs.StartSpan(s.addr, "server_apply", sc)
+		applyCtx = sp.Context()
+		defer sp.End()
+	}
 	s.lockVolume(v)
 	a := newApply(v)
 	res := applyRecord(a, &rec, src)
@@ -230,7 +239,7 @@ func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.Mut
 	}
 	// Journal before commit: the update must be durable before it becomes
 	// visible (or acknowledged). On journal failure nothing commits.
-	if err := journalBatchLocked(v, src, []cml.Record{rec}); err != nil {
+	if err := journalBatchLocked(v, src, []cml.Record{rec}, applyCtx); err != nil {
 		v.mu.Unlock()
 		return wire.MutateRep{}, fmt.Errorf("journal: %w", err)
 	}
@@ -248,11 +257,11 @@ func (s *Server) mutate(src string, rec cml.Record, repFID codafs.FID) (wire.Mut
 		}
 	}
 	s.dispatchBreaks(breaks)
-	s.shipToPeers(v)
+	s.shipToPeers(v, sc)
 	return rep, nil
 }
 
-func (s *Server) makeObject(src string, req wire.MakeObject) (wire.MakeObjectRep, error) {
+func (s *Server) makeObject(src string, sc obs.SpanContext, req wire.MakeObject) (wire.MakeObjectRep, error) {
 	kind := cml.Create
 	switch req.Type {
 	case codafs.Directory:
@@ -264,7 +273,7 @@ func (s *Server) makeObject(src string, req wire.MakeObject) (wire.MakeObjectRep
 		Kind: kind, FID: req.FID, Parent: req.Parent, Name: req.Name,
 		Target: req.Target, Mode: req.Mode, Owner: req.Owner,
 	}
-	mrep, err := s.mutate(src, rec, req.FID)
+	mrep, err := s.mutate(src, sc, rec, req.FID)
 	if err != nil {
 		return wire.MakeObjectRep{}, err
 	}
@@ -297,7 +306,7 @@ func (s *Server) putFragment(src string, req wire.PutFragment) (wire.PutFragment
 	return wire.PutFragmentRep{Received: int64(len(fb.data))}, nil
 }
 
-func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.ReintegrateRep, error) {
+func (s *Server) reintegrate(src string, sc obs.SpanContext, req wire.Reintegrate) (wire.ReintegrateRep, error) {
 	v, ok := s.volByID(req.Volume)
 	if !ok {
 		return wire.ReintegrateRep{}, fmt.Errorf("no volume %d", req.Volume)
@@ -305,6 +314,15 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 	s.stats.reintegrations.Add(1)
 	s.met.reintegrations.Inc()
 	s.observeVolOp(v)
+
+	// One traced chunk is one server_apply span: fragment attach, dedup,
+	// delta reconstruction, validation, journaling, and commit.
+	applyCtx := obs.SpanContext{}
+	if sc.Valid() {
+		sp := s.obs.StartSpan(s.addr, "server_apply", sc)
+		applyCtx = sp.Context()
+		defer sp.End()
+	}
 
 	// Attach fragment data under the fragment lock, before entering the
 	// volume domain (fragMu and volume locks never nest). The server does
@@ -451,7 +469,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 	// neither fragment buffers nor delta bases. Failure aborts the chunk
 	// exactly like a validation failure would: nothing applied, client
 	// retries.
-	if err := journalBatchLocked(v, src, recs); err != nil {
+	if err := journalBatchLocked(v, src, recs, applyCtx); err != nil {
 		v.mu.Unlock()
 		s.stats.reintegrationFails.Add(1)
 		s.met.reintegFails.Inc()
@@ -471,7 +489,7 @@ func (s *Server) reintegrate(src string, req wire.Reintegrate) (wire.Reintegrate
 
 	// Breaks go out with no lock held at all.
 	s.dispatchBreaks(breaks)
-	s.shipToPeers(v)
+	s.shipToPeers(v, sc)
 	return rep, nil
 }
 

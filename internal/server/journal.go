@@ -81,6 +81,7 @@ type serverJournal struct {
 	opts  JournalOptions
 	clock simtime.Clock
 	obs   *obs.Registry
+	node  string // the server's address, span node label for WAL spans
 
 	sjMu    sync.Mutex
 	meta    *wal.WAL
@@ -103,6 +104,7 @@ func (sj *serverJournal) walOptions(dir string) wal.Options {
 		Interval:     sj.opts.Interval,
 		Clock:        sj.clock,
 		Obs:          sj.obs,
+		Node:         sj.node,
 	}
 }
 
@@ -124,7 +126,7 @@ func (s *Server) AttachJournal(opts JournalOptions) (RecoveryInfo, error) {
 	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
 		return info, err
 	}
-	sj := &serverJournal{fs: opts.FS, dir: opts.Dir, opts: opts, clock: s.clock, obs: s.obs}
+	sj := &serverJournal{fs: opts.FS, dir: opts.Dir, opts: opts, clock: s.clock, obs: s.obs, node: s.addr}
 
 	// Snapshot: restores the bulk and carries the LSN watermarks that
 	// fence off WAL entries already reflected in it.
@@ -275,7 +277,7 @@ func replayBatchLocked(v *volume, e volEntry) error {
 // (BenchmarkAllocJournalBatch pins the steady state).
 //
 //codalint:hotpath per-batch journal framing
-func journalBatchLocked(v *volume, client string, recs []cml.Record) error {
+func journalBatchLocked(v *volume, client string, recs []cml.Record, sc obs.SpanContext) error {
 	lsn := v.walLSN + 1
 	v.encBuf.Reset()
 	//codalint:ignore allocscan gob must box and walk the batch, and each payload needs a fresh encoder to stay self-contained; the buffer underneath is reused
@@ -283,7 +285,7 @@ func journalBatchLocked(v *volume, client string, recs []cml.Record) error {
 		return err
 	}
 	if v.wal != nil {
-		if err := v.wal.Append(v.encBuf.Bytes()); err != nil {
+		if err := v.wal.AppendSpan(v.encBuf.Bytes(), sc); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cml"
 	"repro/internal/codafs"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/simtime"
 	"repro/internal/wire"
@@ -134,11 +135,13 @@ func (v *volume) chainAtLocked(lsn uint64) (uint32, bool) {
 // shipToPeers pushes v's unshipped log suffix to every peer on a fresh
 // goroutine; the committing client never waits on replication (the
 // same principle as callback breaks). No lock may be held by callers.
-func (s *Server) shipToPeers(v *volume) {
+// sc is the span context of the operation that committed the newest
+// entry; the asynchronous ship round it triggers is attributed to it.
+func (s *Server) shipToPeers(v *volume, sc obs.SpanContext) {
 	if len(s.peers) == 0 {
 		return
 	}
-	s.clock.Go(func() { s.shipVolume(v) })
+	s.clock.Go(func() { s.shipVolume(v, sc) })
 }
 
 // shipVolume pushes the pending suffix (shippedLSN, walLSN] to every
@@ -147,9 +150,16 @@ func (s *Server) shipToPeers(v *volume) {
 // entries out of order on the wire; the volume lock is held only to
 // read the suffix. A peer that fails mid-stream is skipped for this
 // round — the push is best-effort, the pull side repairs.
-func (s *Server) shipVolume(v *volume) {
+func (s *Server) shipVolume(v *volume, sc obs.SpanContext) {
 	s.acquireShip(v)
 	defer v.releaseShip()
+	if sc.Valid() {
+		sp := s.obs.StartSpan(s.addr, "server_ship_log", sc)
+		if ctx := sp.Context(); ctx.Valid() {
+			sc = ctx
+		}
+		defer sp.End()
+	}
 	for {
 		v.mu.Lock()
 		if v.shippedLSN < v.replBaseLSN {
@@ -170,8 +180,10 @@ func (s *Server) shipVolume(v *volume) {
 		for _, peer := range s.peers {
 			pc := prevChain
 			for _, e := range entries {
+				opts := shipCallOpts
+				opts.Span = sc
 				rep, err := wire.Call[wire.ShipLogRep](s.node, peer,
-					wire.ShipLog{Volume: volID, PrevChain: pc, Entry: e}, shipCallOpts)
+					wire.ShipLog{Volume: volID, PrevChain: pc, Entry: e}, opts)
 				if err != nil {
 					break // unreachable or refusing; it will pull later
 				}
@@ -198,7 +210,7 @@ func (s *Server) shipVolume(v *volume) {
 // on another. Old entries are acknowledged (duplicate push); anything
 // else is a gap, answered with NeedCatchUp while this server pulls the
 // missing suffix from the shipper in the background.
-func (s *Server) shipLog(src string, req wire.ShipLog) (wire.ShipLogRep, error) {
+func (s *Server) shipLog(src string, sc obs.SpanContext, req wire.ShipLog) (wire.ShipLogRep, error) {
 	v, ok := s.volByID(req.Volume)
 	if !ok {
 		return wire.ShipLogRep{}, fmt.Errorf("no volume %d", req.Volume)
@@ -215,10 +227,18 @@ func (s *Server) shipLog(src string, req wire.ShipLog) (wire.ShipLogRep, error) 
 		rep := wire.ShipLogRep{LSN: v.walLSN, NeedCatchUp: true}
 		v.mu.Unlock()
 		s.met.replGaps.Inc()
-		s.clock.Go(func() { _ = s.catchUpVolume(src, req.Volume) })
+		s.clock.Go(func() { _ = s.catchUpVolume(src, req.Volume, sc) })
 		return rep, nil
 	}
-	breaks, err := v.applyEntryLocked(e)
+	// The receive-side apply joins the shipper's trace: validation,
+	// journaling, and commit of the pushed entry under one span.
+	applyCtx := obs.SpanContext{}
+	if sc.Valid() {
+		sp := s.obs.StartSpan(s.addr, "server_apply", sc)
+		applyCtx = sp.Context()
+		defer sp.End()
+	}
+	breaks, err := v.applyEntryLocked(e, applyCtx)
 	rep := wire.ShipLogRep{LSN: v.walLSN}
 	v.mu.Unlock()
 	if err != nil {
@@ -230,7 +250,7 @@ func (s *Server) shipLog(src string, req wire.ShipLog) (wire.ShipLogRep, error) 
 	s.dispatchBreaks(breaks)
 	// The entry may need forwarding if this server also has peers the
 	// shipper does not; shipping is idempotent, so just nudge.
-	s.shipToPeers(v)
+	s.shipToPeers(v, sc)
 	return rep, nil
 }
 
@@ -240,7 +260,7 @@ func (s *Server) shipLog(src string, req wire.ShipLog) (wire.ShipLogRep, error) 
 // shipper's — a mismatch means the logs are not byte-identical and is
 // surfaced as divergence. Caller holds v.mu; the returned breaks are
 // dispatched after unlock.
-func (v *volume) applyEntryLocked(e wire.LogEntry) ([]breakWork, error) {
+func (v *volume) applyEntryLocked(e wire.LogEntry, sc obs.SpanContext) ([]breakWork, error) {
 	a := newApply(v)
 	for i := range e.Recs {
 		if res := applyRecord(a, &e.Recs[i], e.Client); !res.OK {
@@ -248,7 +268,7 @@ func (v *volume) applyEntryLocked(e wire.LogEntry) ([]breakWork, error) {
 				v.info.ID, e.LSN, i, e.Recs[i].Kind, res.Msg)
 		}
 	}
-	if err := journalBatchLocked(v, e.Client, e.Recs); err != nil {
+	if err := journalBatchLocked(v, e.Client, e.Recs, sc); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	if v.chain != e.Chain {
@@ -306,7 +326,7 @@ func (s *Server) fetchLog(req wire.FetchLog) (wire.FetchLogRep, error) {
 // not skipped).
 func (s *Server) CatchUp(peer string) error {
 	for _, v := range s.volumesByID() {
-		if err := s.catchUpVolume(peer, v.id()); err != nil {
+		if err := s.catchUpVolume(peer, v.id(), obs.SpanContext{}); err != nil {
 			return err
 		}
 	}
@@ -317,13 +337,20 @@ func (s *Server) CatchUp(peer string) error {
 // log reaches the peer's. The ship token serializes it against pushes
 // we might be making ourselves, so anti-entropy for a volume is
 // single-file.
-func (s *Server) catchUpVolume(peer string, id codafs.VolumeID) error {
+func (s *Server) catchUpVolume(peer string, id codafs.VolumeID, sc obs.SpanContext) error {
 	v, ok := s.volByID(id)
 	if !ok {
 		return fmt.Errorf("server: catch-up: no volume %d", id)
 	}
 	s.acquireShip(v)
 	defer v.releaseShip()
+	if sc.Valid() {
+		sp := s.obs.StartSpan(s.addr, "server_catch_up", sc)
+		if ctx := sp.Context(); ctx.Valid() {
+			sc = ctx
+		}
+		defer sp.End()
+	}
 	for {
 		v.mu.Lock()
 		after := v.walLSN
@@ -331,7 +358,7 @@ func (s *Server) catchUpVolume(peer string, id codafs.VolumeID) error {
 		v.mu.Unlock()
 
 		rep, err := wire.Call[wire.FetchLogRep](s.node, peer,
-			wire.FetchLog{Volume: id, AfterLSN: after, Chain: chain}, rpc2.CallOpts{})
+			wire.FetchLog{Volume: id, AfterLSN: after, Chain: chain}, rpc2.CallOpts{Span: sc})
 		if err != nil {
 			return fmt.Errorf("server: catch-up volume %d from %s: %w", id, peer, err)
 		}
@@ -350,7 +377,7 @@ func (s *Server) catchUpVolume(peer string, id codafs.VolumeID) error {
 				v.mu.Unlock()
 				return fmt.Errorf("server: catch-up volume %d: entry gap at %d (have %d)", id, e.LSN, v.walLSN)
 			}
-			breaks, err := v.applyEntryLocked(e)
+			breaks, err := v.applyEntryLocked(e, sc)
 			if err != nil {
 				v.mu.Unlock()
 				s.noteDivergence(err)

@@ -67,6 +67,7 @@ type Server struct {
 	clock simtime.Clock
 	node  *rpc2.Node
 	obs   *obs.Registry // nil unless WithObs; nil is fully inert
+	addr  string        // the server's own address, span node label
 	met   smetrics
 
 	stats   counters      // atomics: bumped from any domain without a lock
@@ -314,6 +315,7 @@ func New(clock simtime.Clock, conn netsim.PacketConn, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.addr = conn.LocalAddr()
 	s.initMetrics(conn.LocalAddr())
 	s.node = rpc2.NewNode(clock, conn, netmon.NewMonitor(clock), s.handle, s.obs)
 	clock.Go(s.sweepLoop)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/codafs"
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/simtime"
 	"repro/internal/wire"
@@ -37,7 +38,7 @@ type tclient struct {
 
 func (w *world) client(name string) *tclient {
 	c := &tclient{addr: name, breaks: simtime.NewQueue[wire.CallbackBreak](w.sim)}
-	c.node = rpc2.NewNode(w.sim, w.net.Host(name), netmon.NewMonitor(w.sim), func(src string, body []byte) ([]byte, error) {
+	c.node = rpc2.NewNode(w.sim, w.net.Host(name), netmon.NewMonitor(w.sim), func(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 		v, err := wire.Decode(body)
 		if err != nil {
 			return nil, err

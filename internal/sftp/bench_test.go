@@ -1,6 +1,10 @@
 package sftp
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
 
 // The ship benchmarks pin the per-fragment framing paths at zero
 // steady-state heap allocations (pooled buffers, recycled as soon as
@@ -10,11 +14,11 @@ import "testing"
 func BenchmarkAllocShipData(b *testing.B) {
 	e := &Engine{send: func(dst string, p []byte) error { return nil }}
 	data := make([]byte, DataPacketSize)
-	e.shipData("dst", 1, 0, 1, uint64(len(data)), data) // warm the pool
+	e.shipData("dst", 1, 0, 1, uint64(len(data)), obs.SpanContext{}, data) // warm the pool
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.shipData("dst", 1, uint32(i), uint32(b.N), uint64(len(data)), data)
+		e.shipData("dst", 1, uint32(i), uint32(b.N), uint64(len(data)), obs.SpanContext{}, data)
 	}
 }
 

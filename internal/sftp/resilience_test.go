@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -26,7 +27,7 @@ func TestTransferSurvivesTransientOutage(t *testing.T) {
 
 		done := simtime.NewQueue[error](s)
 		start := s.Now()
-		s.Go(func() { done.Put(a.engine.Send("b", 1, data)) })
+		s.Go(func() { done.Put(a.engine.Send("b", 1, data, obs.SpanContext{})) })
 		got, err := b.engine.Await("a", 1, time.Hour)
 		if err != nil {
 			t.Fatalf("Await: %v", err)
@@ -58,7 +59,7 @@ func TestBandwidthChangeMidTransfer(t *testing.T) {
 			net.SetLink("a", "b", netsim.Modem.Params())
 		})
 		done := simtime.NewQueue[error](s)
-		s.Go(func() { done.Put(a.engine.Send("b", 1, data)) })
+		s.Go(func() { done.Put(a.engine.Send("b", 1, data, obs.SpanContext{})) })
 		got, err := b.engine.Await("a", 1, 2*time.Hour)
 		if err != nil {
 			t.Fatalf("Await: %v", err)

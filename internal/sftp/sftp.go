@@ -62,6 +62,11 @@ type Engine struct {
 	send  func(dst string, payload []byte) error
 	mon   *netmon.Monitor
 
+	// reg/self mint sftp spans; engine metrics stay unlabeled, so the
+	// node label for span attribution is carried explicitly.
+	reg  *obs.Registry
+	self string
+
 	mu        sync.Mutex
 	senders   map[key]*simtime.Queue[ackInfo]
 	incoming  map[key]*inTransfer
@@ -94,17 +99,22 @@ type inTransfer struct {
 	total      uint32
 	totalBytes uint64
 	got        map[uint32][]byte
+	sp         *obs.SpanHandle // sftp_receive, when the stream is traced
 }
 
 // NewEngine returns an Engine sending through send — which must not
 // retain the payload after it returns: fragment buffers are pooled and
 // recycled as soon as send comes back — and accounting against
-// mon. reg may be nil, in which case the engine records no metrics.
-func NewEngine(clock simtime.Clock, mon *netmon.Monitor, send func(dst string, payload []byte) error, reg *obs.Registry) *Engine {
+// mon. reg may be nil, in which case the engine records no metrics and
+// mints no spans; self is the owning node's address, used as the span
+// node label.
+func NewEngine(clock simtime.Clock, mon *netmon.Monitor, send func(dst string, payload []byte) error, reg *obs.Registry, self string) *Engine {
 	return &Engine{
 		clock:     clock,
 		send:      send,
 		mon:       mon,
+		reg:       reg,
+		self:      self,
 		senders:   make(map[key]*simtime.Queue[ackInfo]),
 		incoming:  make(map[key]*inTransfer),
 		done:      make(map[key]*simtime.Queue[[]byte]),
@@ -124,13 +134,27 @@ func NewEngine(clock simtime.Clock, mon *netmon.Monitor, send func(dst string, p
 
 // Send transfers data to dst under transfer id, blocking until the receiver
 // has acknowledged every packet or the transfer is abandoned. On success it
-// feeds a throughput sample to the peer's bandwidth estimator.
-func (e *Engine) Send(dst string, id uint64, data []byte) error {
+// feeds a throughput sample to the peer's bandwidth estimator. A valid sc
+// makes the transfer one sftp_transfer span in the caller's trace, and
+// every data fragment carries the span context so the receive side joins
+// the same tree.
+func (e *Engine) Send(dst string, id uint64, data []byte, sc obs.SpanContext) error {
 	peer := e.mon.Peer(dst)
 	total := uint32((len(data) + DataPacketSize - 1) / DataPacketSize)
 	if total == 0 {
 		total = 1 // zero-length transfers still need one (empty) packet
 	}
+
+	var sp *obs.SpanHandle
+	wireCtx := obs.SpanContext{}
+	if sc.Valid() {
+		sp = e.reg.StartSpan(e.self, "sftp_transfer", sc, obs.F("dst", dst))
+		wireCtx = sp.Context()
+		if !wireCtx.Valid() {
+			wireCtx = sc // registry absent or table full: still propagate
+		}
+	}
+	defer sp.End()
 
 	k := key{dst, id}
 	acks := simtime.NewQueue[ackInfo](e.clock)
@@ -165,7 +189,7 @@ func (e *Engine) Send(dst string, id uint64, data []byte) error {
 		}
 		e.met.packetsSent.Inc()
 		e.met.bytesSent.Add(int64(hi - lo))
-		e.shipData(dst, id, i, total, uint64(len(data)), data[lo:hi])
+		e.shipData(dst, id, i, total, uint64(len(data)), wireCtx, data[lo:hi])
 	}
 	xmitFresh := func(i uint32) {
 		xmit(i)
@@ -327,7 +351,7 @@ func (e *Engine) Deliver(src string, payload []byte) {
 }
 
 func (e *Engine) deliverData(src string, payload []byte) {
-	id, seq, total, totalBytes, data, ok := decodeData(payload)
+	id, seq, total, totalBytes, sc, data, ok := decodeData(payload)
 	if !ok {
 		return
 	}
@@ -345,6 +369,11 @@ func (e *Engine) deliverData(src string, payload []byte) {
 	t, ok := e.incoming[k]
 	if !ok {
 		t = &inTransfer{total: total, totalBytes: totalBytes, got: make(map[uint32][]byte)}
+		if sc.Valid() {
+			// The receive span opens on the first fragment and closes
+			// on assembly; its parent context rode in on the wire.
+			t.sp = e.reg.StartSpan(e.self, "sftp_receive", sc, obs.F("src", src))
+		}
 		e.incoming[k] = t
 	}
 	if _, dup := t.got[seq]; !dup && seq < t.total {
@@ -385,6 +414,7 @@ func (e *Engine) deliverData(src string, payload []byte) {
 			e.done[k] = q
 		}
 		e.mu.Unlock()
+		t.sp.End()
 		e.shipAck(src, id, cum, bitmap)
 		q.Put(assembled)
 		return
@@ -407,9 +437,10 @@ func (e *Engine) deliverAck(src string, payload []byte) {
 }
 
 // Framed header sizes: data is tag(1) id(8) seq(4) total(4)
-// totalBytes(8) len(2); ack is tag(1) id(8) cum(4) bitmap(8).
+// totalBytes(8) len(2) trace(8) span(8) — the trailing span context is
+// all-zero on untraced streams; ack is tag(1) id(8) cum(4) bitmap(8).
 const (
-	dataHeader = 27
+	dataHeader = 43
 	ackHeader  = 21
 )
 
@@ -417,43 +448,48 @@ const (
 // buffer) and returns the extended slice.
 //
 //codalint:hotpath sftp fragment framing
-func appendData(dst []byte, id uint64, seq, total uint32, totalBytes uint64, data []byte) []byte {
+func appendData(dst []byte, id uint64, seq, total uint32, totalBytes uint64, sc obs.SpanContext, data []byte) []byte {
 	dst = append(dst, tagData)
 	dst = binary.BigEndian.AppendUint64(dst, id)
 	dst = binary.BigEndian.AppendUint32(dst, seq)
 	dst = binary.BigEndian.AppendUint32(dst, total)
 	dst = binary.BigEndian.AppendUint64(dst, totalBytes)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(data)))
+	dst = binary.BigEndian.AppendUint64(dst, sc.Trace)
+	dst = binary.BigEndian.AppendUint64(dst, sc.Span)
 	return append(dst, data...)
 }
 
 // shipData frames one data fragment into a pooled buffer and hands it
 // to the send callback, which must not retain it. One of these fires
 // per fragment of every bulk transfer; zero steady-state allocations
-// here is pinned by BenchmarkAllocShipData and the benchgate.
+// here is pinned by BenchmarkAllocShipData and the benchgate (the span
+// context is two fixed header words, nothing heap-allocated).
 //
 //codalint:hotpath sftp fragment framing
-func (e *Engine) shipData(dst string, id uint64, seq, total uint32, totalBytes uint64, data []byte) {
+func (e *Engine) shipData(dst string, id uint64, seq, total uint32, totalBytes uint64, sc obs.SpanContext, data []byte) {
 	bp := bufpool.Get(dataHeader + len(data))
-	*bp = appendData(*bp, id, seq, total, totalBytes, data)
+	*bp = appendData(*bp, id, seq, total, totalBytes, sc, data)
 	_ = e.send(dst, *bp)
 	bufpool.Put(bp)
 }
 
 //codalint:hotpath sftp fragment parsing
-func decodeData(p []byte) (id uint64, seq, total uint32, totalBytes uint64, data []byte, ok bool) {
+func decodeData(p []byte) (id uint64, seq, total uint32, totalBytes uint64, sc obs.SpanContext, data []byte, ok bool) {
 	if len(p) < dataHeader {
-		return 0, 0, 0, 0, nil, false
+		return
+	}
+	n := int(binary.BigEndian.Uint16(p[25:]))
+	if len(p) < dataHeader+n {
+		return
 	}
 	id = binary.BigEndian.Uint64(p[1:])
 	seq = binary.BigEndian.Uint32(p[9:])
 	total = binary.BigEndian.Uint32(p[13:])
 	totalBytes = binary.BigEndian.Uint64(p[17:])
-	n := int(binary.BigEndian.Uint16(p[25:]))
-	if len(p) < dataHeader+n {
-		return 0, 0, 0, 0, nil, false
-	}
-	return id, seq, total, totalBytes, p[dataHeader : dataHeader+n], true
+	sc.Trace = binary.BigEndian.Uint64(p[27:])
+	sc.Span = binary.BigEndian.Uint64(p[35:])
+	return id, seq, total, totalBytes, sc, p[dataHeader : dataHeader+n], true
 }
 
 // shipAck frames one ack into a pooled buffer; every received data

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/netmon"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -22,7 +23,7 @@ func newPair(s *simtime.Sim, n *netsim.Network) (a, b *node) {
 	mk := func(name string) *node {
 		ep := n.Host(name)
 		mon := netmon.NewMonitor(s)
-		eng := NewEngine(s, mon, ep.Send, nil)
+		eng := NewEngine(s, mon, ep.Send, nil, name)
 		s.Go(func() {
 			for {
 				payload, src, ok := ep.Recv()
@@ -51,7 +52,7 @@ func runTransfer(t *testing.T, params netsim.LinkParams, size int) time.Duration
 		}
 		done := simtime.NewQueue[error](s)
 		start := s.Now()
-		s.Go(func() { done.Put(a.engine.Send("b", 1, data)) })
+		s.Go(func() { done.Put(a.engine.Send("b", 1, data, obs.SpanContext{})) })
 		got, err := b.engine.Await("a", 1, time.Hour)
 		if err != nil {
 			t.Errorf("Await: %v", err)
@@ -122,7 +123,7 @@ func TestConcurrentTransfers(t *testing.T) {
 		for i := 0; i < nt; i++ {
 			id := uint64(i + 1)
 			data := bytes.Repeat([]byte{byte(id)}, 20<<10)
-			s.Go(func() { done.Put(a.engine.Send("b", id, data)) })
+			s.Go(func() { done.Put(a.engine.Send("b", id, data, obs.SpanContext{})) })
 		}
 		for i := 0; i < nt; i++ {
 			id := uint64(i + 1)
@@ -148,7 +149,7 @@ func TestSendFailsOnDeadLink(t *testing.T) {
 	s.Run(func() {
 		a, _ := newPair(s, net)
 		net.SetUp("a", "b", false)
-		err := a.engine.Send("b", 9, make([]byte, 5000))
+		err := a.engine.Send("b", 9, make([]byte, 5000), obs.SpanContext{})
 		if !errors.Is(err, ErrTransferFailed) {
 			t.Errorf("Send over dead link: %v, want ErrTransferFailed", err)
 		}
@@ -177,7 +178,7 @@ func TestBandwidthEstimateAfterTransfer(t *testing.T) {
 		a.engine.mon = mon
 		data := make([]byte, 24<<10)
 		done := simtime.NewQueue[error](s)
-		s.Go(func() { done.Put(a.engine.Send("b", 1, data)) })
+		s.Go(func() { done.Put(a.engine.Send("b", 1, data, obs.SpanContext{})) })
 		if _, err := b.engine.Await("a", 1, time.Hour); err != nil {
 			t.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func TestTransferIntegrityProperty(t *testing.T) {
 				data[i] = byte(seed>>uint(i%8) + int64(i))
 			}
 			done := simtime.NewQueue[error](s)
-			s.Go(func() { done.Put(a.engine.Send("b", 1, data)) })
+			s.Go(func() { done.Put(a.engine.Send("b", 1, data, obs.SpanContext{})) })
 			got, err := b.engine.Await("a", 1, time.Hour)
 			errSend, _ := done.Get()
 			ok = err == nil && errSend == nil && bytes.Equal(got, data)

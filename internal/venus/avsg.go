@@ -91,12 +91,15 @@ func (v *Venus) defaultPref(id uint64) int {
 
 // noteFailover records one abandoned member attempt: the volume's
 // preference advances past the failed member and the failover counters
-// absorb the time the attempt burned before Venus gave up on it.
-func (v *Venus) noteFailover(vc *vclient, from int, wait time.Duration) {
+// absorb the time the attempt burned (began until now) before Venus
+// gave up on it. When the operation is traced, the burned wait becomes
+// a venus_failover_wait span so the critical path can attribute it.
+func (v *Venus) noteFailover(vc *vclient, from int, began time.Time, sc obs.SpanContext) {
 	n := len(v.cfg.Servers)
 	if n < 2 {
 		return
 	}
+	wait := v.clock.Now().Sub(began)
 	v.mu.Lock()
 	if vc != nil && vc.pref == from {
 		vc.pref = (from + 1) % n
@@ -106,6 +109,10 @@ func (v *Venus) noteFailover(vc *vclient, from int, wait time.Duration) {
 	v.met.failovers.Inc()
 	v.met.failoverWait.Add(wait.Microseconds())
 	v.met.reg.Event("venus_failover", obs.F("member", v.cfg.Servers[from]))
+	if sc.Valid() {
+		v.met.reg.SpanAt(v.met.self, "venus_failover_wait", sc, began,
+			obs.F("member", v.cfg.Servers[from])).End()
+	}
 }
 
 // callVol performs one volume-scoped RPC against the group: the volume's
@@ -130,7 +137,7 @@ func callVol[Rep any](v *Venus, vc *vclient, req any, opts rpc2.CallOpts) (Rep, 
 			return zero, err
 		}
 		lastErr = err
-		v.noteFailover(vc, i, v.clock.Now().Sub(began))
+		v.noteFailover(vc, i, began, opts.Span)
 	}
 	return zero, lastErr
 }
@@ -162,7 +169,7 @@ func (v *Venus) reintegrateTimeout() time.Duration {
 // Unlike callVol this fails over on every error (see the file comment):
 // the server-side dedup set makes the retransmit safe even if the failed
 // member actually applied the chunk before dying.
-func (v *Venus) reintegrateCall(vc *vclient, recs []cml.Record, deltas map[int]delta.Delta, fragData []byte, fragSize int64) (wire.ReintegrateRep, error) {
+func (v *Venus) reintegrateCall(vc *vclient, recs []cml.Record, deltas map[int]delta.Delta, fragData []byte, fragSize int64, sc obs.SpanContext) (wire.ReintegrateRep, error) {
 	members := v.cfg.Servers
 	timeout := v.reintegrateTimeout()
 	start := v.prefIndex(vc)
@@ -173,29 +180,39 @@ func (v *Venus) reintegrateCall(vc *vclient, recs []cml.Record, deltas map[int]d
 		var fragments map[int]uint64
 		if fragData != nil {
 			id := v.allocXfer()
-			if err := v.shipFragmentsTo(members[i], id, fragData, fragSize); err != nil {
+			if err := v.shipFragmentsTo(members[i], id, fragData, fragSize, sc); err != nil {
 				lastErr = err
-				v.noteFailover(vc, i, v.clock.Now().Sub(began))
+				v.noteFailover(vc, i, began, sc)
 				continue
 			}
 			fragments = map[int]uint64{0: id}
 		}
 		rep, err := wire.Call[wire.ReintegrateRep](v.node, members[i], wire.Reintegrate{
 			Volume: vc.info.ID, Records: recs, Fragments: fragments, Deltas: deltas,
-		}, rpc2.CallOpts{Timeout: timeout})
+		}, rpc2.CallOpts{Timeout: timeout, Span: sc})
 		if err == nil {
 			return rep, nil
 		}
 		lastErr = err
-		v.noteFailover(vc, i, v.clock.Now().Sub(began))
+		v.noteFailover(vc, i, began, sc)
 	}
 	return wire.ReintegrateRep{}, lastErr
 }
 
 // shipFragmentsTo sends data to one member as fragments of at most
 // fragSize bytes, resuming from wherever that member says it already has
-// contiguous data.
-func (v *Venus) shipFragmentsTo(addr string, id uint64, data []byte, fragSize int64) error {
+// contiguous data. On a traced reintegration the whole resumable ship is
+// one venus_fragment_ship span with the per-fragment PutFragment calls
+// as children.
+func (v *Venus) shipFragmentsTo(addr string, id uint64, data []byte, fragSize int64, sc obs.SpanContext) error {
+	var sp *obs.SpanHandle
+	if sc.Valid() {
+		sp = v.met.reg.StartSpan(v.met.self, "venus_fragment_ship", sc, obs.F("member", addr))
+		if ctx := sp.Context(); ctx.Valid() {
+			sc = ctx
+		}
+	}
+	defer sp.End()
 	total := int64(len(data))
 	var offset int64
 	for offset < total {
@@ -205,7 +222,7 @@ func (v *Venus) shipFragmentsTo(addr string, id uint64, data []byte, fragSize in
 		}
 		rep, err := wire.Call[wire.PutFragmentRep](v.node, addr, wire.PutFragment{
 			Transfer: id, Offset: offset, Total: total, Data: data[offset:end],
-		}, rpc2.CallOpts{Timeout: v.reintegrateTimeout()})
+		}, rpc2.CallOpts{Timeout: v.reintegrateTimeout(), Span: sc})
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/codafs"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/wire"
 )
@@ -99,6 +100,9 @@ func (v *Venus) HoardWalk() error {
 	}()
 
 	v.met.hoardWalks.Inc()
+	sp := v.met.reg.StartSpan(v.met.self, "venus_hoard_walk", obs.SpanContext{})
+	defer sp.End()
+	sc := sp.Context()
 	phaseStart := v.clock.Now()
 	endPhase := func(name string) {
 		now := v.clock.Now()
@@ -143,12 +147,12 @@ func (v *Venus) HoardWalk() error {
 		if v.isClosed() || v.State() == Emulating {
 			return ErrDisconnected
 		}
-		v.fetchForHoard(c.vc, c.fid, c.item.Priority)
+		v.fetchForHoard(c.vc, c.fid, c.item.Priority, sc)
 	}
 	endPhase("data_walk")
 
 	// ---- Phase 4: volume stamps (§4.2.2) ----
-	v.acquireVolumeStamps()
+	v.acquireVolumeStamps(sc)
 	endPhase("stamps")
 	return nil
 }
@@ -296,7 +300,7 @@ func (v *Venus) addCandidate(cands *[]walkCand, seen map[codafs.FID]bool, vc *vc
 
 // fetchForHoard fetches one approved object, bypassing the patience check
 // (approval came from the model or the user).
-func (v *Venus) fetchForHoard(vc *vclient, fid codafs.FID, pri int) {
+func (v *Venus) fetchForHoard(vc *vclient, fid codafs.FID, pri int, sc obs.SpanContext) {
 	var size int64
 	v.mu.Lock()
 	if f := v.cache.get(fid); f != nil {
@@ -310,7 +314,7 @@ func (v *Venus) fetchForHoard(vc *vclient, fid codafs.FID, pri int) {
 		size = f.obj.Status.Length
 	}
 	v.mu.Unlock()
-	if _, err := v.fetchSingleFlight(vc, fid, size); err != nil {
+	if _, err := v.fetchSingleFlight(vc, fid, size, sc); err != nil {
 		return
 	}
 	v.mu.Lock()
@@ -323,7 +327,7 @@ func (v *Venus) fetchForHoard(vc *vclient, fid codafs.FID, pri int) {
 // acquireVolumeStamps caches a fresh stamp (and volume callback) for every
 // mounted volume. All cached objects are known valid at this point, so the
 // mutual consistency of volume and object state costs nothing (§4.2.1).
-func (v *Venus) acquireVolumeStamps() {
+func (v *Venus) acquireVolumeStamps(sc obs.SpanContext) {
 	if v.cfg.DisableVolumeCallbacks {
 		return
 	}
@@ -332,7 +336,7 @@ func (v *Venus) acquireVolumeStamps() {
 	v.mu.Unlock()
 	for _, vc := range vols {
 		rep, err := callVol[wire.GetVolumeStampRep](v, vc,
-			wire.GetVolumeStamp{Volume: vc.info.ID}, rpc2.CallOpts{})
+			wire.GetVolumeStamp{Volume: vc.info.ID}, rpc2.CallOpts{Span: sc})
 		if err != nil {
 			continue
 		}

@@ -50,7 +50,8 @@ var hoardPhaseBucketsUS = []int64{
 // keeps those paths allocation- and lock-free. Every handle is nil (and
 // inert) when no registry was injected.
 type vmetrics struct {
-	reg *obs.Registry
+	reg  *obs.Registry
+	self string // the client's node address, span node label
 
 	cacheHits   map[string]*obs.Counter // by hoard band
 	cacheMisses map[string]*obs.Counter
@@ -93,6 +94,7 @@ func newVMetrics(reg *obs.Registry, v *Venus, addr string) *vmetrics {
 	client := obs.L("client", addr)
 	m := &vmetrics{
 		reg:         reg,
+		self:        addr,
 		cacheHits:   make(map[string]*obs.Counter, len(hoardBands)),
 		cacheMisses: make(map[string]*obs.Counter, len(hoardBands)),
 		transitions: make(map[[2]State]*obs.Counter),

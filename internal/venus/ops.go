@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cml"
 	"repro/internal/codafs"
+	"repro/internal/obs"
 	"repro/internal/rpc2"
 	"repro/internal/wire"
 )
@@ -179,12 +180,19 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 	v.beginForeground()
 	defer v.endForeground()
 
+	// Server interaction is unavoidable from here on: this is the root of
+	// one traced open — status checks, the patience wait, the transport's
+	// retransmits, and the server's apply all hang off this span.
+	sp := v.met.reg.StartSpan(v.met.self, "venus_open", obs.SpanContext{}, obs.F("path", path))
+	defer sp.End()
+	sc := sp.Context()
+
 	// Revalidate a suspect cached object: one cheap status check; if the
 	// version still matches, the copy is good and a fresh callback came
 	// with the GetAttr.
 	var size int64 = -1
 	if f != nil && !f.valid {
-		ga, err := callVol[wire.GetAttrRep](v, vc, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
+		ga, err := callVol[wire.GetAttrRep](v, vc, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{Span: sc})
 		if err != nil {
 			return nil, v.rpcFailed(path, err)
 		}
@@ -212,7 +220,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 	// Unknown object: obtain status first — it is only ~100 bytes, so
 	// the delay is acceptable even on slow networks (§4.4.1).
 	if f == nil {
-		ga, err := callVol[wire.GetAttrRep](v, vc, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{})
+		ga, err := callVol[wire.GetAttrRep](v, vc, wire.GetAttr{FID: fid, WantCallback: true}, rpc2.CallOpts{Span: sc})
 		if err != nil {
 			return nil, v.rpcFailed(path, err)
 		}
@@ -263,7 +271,7 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 		}
 	}
 
-	f, err := v.fetchSingleFlight(vc, fid, size)
+	f, err := v.fetchSingleFlight(vc, fid, size, sc)
 	if err != nil {
 		return nil, v.rpcFailed(path, err)
 	}
@@ -279,13 +287,22 @@ func (v *Venus) getObject(vc *vclient, fid codafs.FID, path string, wantData boo
 // fetchSingleFlight fetches fid's full contents, coalescing concurrent
 // fetches of the same object (a hoard walk and a foreground miss must not
 // compete for a slow link over the same bytes). The timeout adapts to the
-// object's size at the current bandwidth.
-func (v *Venus) fetchSingleFlight(vc *vclient, fid codafs.FID, size int64) (*fso, error) {
+// object's size at the current bandwidth. Time spent parked behind
+// another goroutine's in-flight fetch is recorded as a
+// venus_patience_wait span on a traced operation.
+func (v *Venus) fetchSingleFlight(vc *vclient, fid codafs.FID, size int64, sc obs.SpanContext) (*fso, error) {
+	var waitStart time.Time
+	endWait := func() {
+		if !waitStart.IsZero() && sc.Valid() {
+			v.met.reg.SpanAt(v.met.self, "venus_patience_wait", sc, waitStart).End()
+		}
+	}
 	for {
 		v.mu.Lock()
 		if f := v.cache.get(fid); f != nil && !f.placeholder && f.valid {
 			v.cache.touch(f)
 			v.mu.Unlock()
+			endWait()
 			return f, nil
 		}
 		if !v.fetching[fid] {
@@ -294,12 +311,17 @@ func (v *Venus) fetchSingleFlight(vc *vclient, fid codafs.FID, size int64) (*fso
 			break
 		}
 		v.mu.Unlock()
+		if waitStart.IsZero() {
+			waitStart = v.clock.Now()
+		}
 		// Another goroutine is fetching this object; wait for it.
 		v.clock.Sleep(200 * time.Millisecond)
 		if v.isClosed() {
+			endWait()
 			return nil, ErrClosed
 		}
 	}
+	endWait()
 	defer func() {
 		v.mu.Lock()
 		delete(v.fetching, fid)
@@ -308,7 +330,7 @@ func (v *Venus) fetchSingleFlight(vc *vclient, fid codafs.FID, size int64) (*fso
 
 	timeout := 2*v.estimateCost(vc, size) + 2*time.Minute
 	rep, err := callVol[wire.FetchRep](v, vc,
-		wire.Fetch{FID: fid, WantCallback: true}, rpc2.CallOpts{Timeout: timeout})
+		wire.Fetch{FID: fid, WantCallback: true}, rpc2.CallOpts{Timeout: timeout, Span: sc})
 	if err != nil {
 		return nil, err
 	}

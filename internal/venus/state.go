@@ -130,6 +130,8 @@ func (v *Venus) maybeDemote() {
 // would reject a stamp another member issued even though the client's
 // cache is good; asking the issuer avoids that false suspicion.
 func (v *Venus) validateOnReconnect() {
+	root := v.met.reg.StartSpan(v.met.self, "venus_validate", obs.SpanContext{})
+	defer root.End()
 	v.mu.Lock()
 	type batchEntry struct {
 		vc   *vclient
@@ -166,7 +168,7 @@ func (v *Venus) validateOnReconnect() {
 
 	for _, b := range batches {
 		rep, err := callVol[wire.ValidateVolumesRep](v, b.entries[0].vc,
-			wire.ValidateVolumes{Volumes: b.pairs}, rpc2.CallOpts{})
+			wire.ValidateVolumes{Volumes: b.pairs}, rpc2.CallOpts{Span: root.Context()})
 		if err != nil {
 			// Validation will be retried on the next reconnection; treat
 			// this batch as suspect meanwhile.
@@ -213,7 +215,7 @@ func (v *Venus) validateOnReconnect() {
 }
 
 // handleServerCall services calls from the server — callback breaks.
-func (v *Venus) handleServerCall(src string, body []byte) ([]byte, error) {
+func (v *Venus) handleServerCall(src string, _ obs.SpanContext, body []byte) ([]byte, error) {
 	msg, err := wire.Decode(body)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cml"
 	"repro/internal/codafs"
 	"repro/internal/delta"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -77,6 +78,14 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 		return false
 	}
 
+	// One shipped chunk is one venus_reintegrate trace root; everything
+	// below it — fragment pre-ship, the Reintegrate RPC, server apply,
+	// WAL, anti-entropy, failover waits — joins this tree via the span
+	// context threaded through the calls and the wire.
+	sp := v.met.reg.StartSpan(v.met.self, "venus_reintegrate", obs.SpanContext{},
+		obs.F("volume", vc.info.Name))
+	defer sp.End()
+
 	recs := make([]cml.Record, len(records))
 	for i, r := range records {
 		recs[i] = *r
@@ -124,7 +133,7 @@ func (v *Venus) reintegrateChunk(vc *vclient, age time.Duration) bool {
 	}
 
 	//codalint:ignore lockhold drainMu is a work lock serializing whole-drain attempts per volume by design; RPCs are issued holding only drainMu, never Venus.mu
-	rep, err := v.reintegrateCall(vc, recs, deltas, fragData, c)
+	rep, err := v.reintegrateCall(vc, recs, deltas, fragData, c, sp.Context())
 	if err != nil {
 		// Network or server failure: remove the barrier; every record
 		// is again eligible for optimization until the retry (§4.3.3).
@@ -315,6 +324,10 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 		return nil // nothing pending for this subtree
 	}
 
+	sp := v.met.reg.StartSpan(v.met.self, "venus_reintegrate", obs.SpanContext{},
+		obs.F("volume", vc.info.Name), obs.F("subtree", path))
+	defer sp.End()
+
 	recs := make([]cml.Record, len(records))
 	seqs := make(map[uint64]bool, len(records))
 	for i, r := range records {
@@ -322,7 +335,7 @@ func (v *Venus) ForceReintegrateSubtree(path string) error {
 		seqs[r.Seq] = true
 	}
 	//codalint:ignore lockhold drainMu is a work lock serializing whole-drain attempts per volume by design; RPCs are issued holding only drainMu, never Venus.mu
-	rep, err := v.reintegrateCall(vc, recs, nil, nil, 0)
+	rep, err := v.reintegrateCall(vc, recs, nil, nil, 0, sp.Context())
 	if err != nil {
 		vc.log.AbortReintegration()
 		v.bumpFailure()

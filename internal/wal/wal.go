@@ -80,6 +80,10 @@ type Options struct {
 	// are aggregate across all WALs sharing a registry: the registry
 	// hands every Open the same handles.
 	Obs *obs.Registry
+	// Node is the span node label AppendSpan records wal_append and
+	// wal_fsync spans under (the owning process's address). Only needed
+	// when traced appends are expected.
+	Node string
 }
 
 // RecoveryStats describes what Open found.
@@ -334,6 +338,18 @@ func (w *WAL) startSegment(idx uint64) error {
 //
 //codalint:hotpath journal framing
 func (w *WAL) Append(payload []byte) error {
+	var untraced obs.SpanContext
+	return w.AppendSpan(payload, untraced)
+}
+
+// AppendSpan is Append on behalf of a traced operation: the whole
+// append becomes a wal_append span under parent, with the fsync (when
+// the policy forces one) as a wal_fsync child — the critical path's
+// fsync bucket. An invalid parent makes this exactly Append: no span
+// work touches the untraced hot path.
+//
+//codalint:hotpath journal framing
+func (w *WAL) AppendSpan(payload []byte, parent obs.SpanContext) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.seg == nil {
@@ -341,6 +357,14 @@ func (w *WAL) Append(payload []byte) error {
 	}
 	if len(payload) > maxPayload {
 		return fmt.Errorf("wal: payload %d exceeds %d", len(payload), maxPayload)
+	}
+	var syncCtx obs.SpanContext
+	if parent.Valid() {
+		//codalint:ignore allocscan span minting runs only for traced appends; the untraced steady state never enters this branch
+		sp := w.opts.Obs.StartSpan(w.opts.Node, "wal_append", parent)
+		syncCtx = sp.Context() //codalint:ignore allocscan traced-append branch only; see above
+		//codalint:ignore allocscan traced-append branch only; see above
+		defer sp.End()
 	}
 
 	if w.segSize > 0 && w.segSize+frameHeader+int64(len(payload)) > w.opts.SegmentBytes {
@@ -369,12 +393,12 @@ func (w *WAL) Append(payload []byte) error {
 	switch w.opts.Policy {
 	case SyncEachRecord:
 		//codalint:ignore lockhold the WAL mutex is the fsync serialization point: durable order must equal append order
-		return w.syncLocked()
+		return w.syncSpanLocked(syncCtx)
 	case SyncInterval:
 		now := w.opts.Clock.Now()
 		if now.Sub(w.lastSync) >= w.opts.Interval {
 			//codalint:ignore lockhold the WAL mutex is the fsync serialization point: durable order must equal append order
-			if err := w.syncLocked(); err != nil {
+			if err := w.syncSpanLocked(syncCtx); err != nil {
 				return err
 			}
 			w.lastSync = now
@@ -382,6 +406,21 @@ func (w *WAL) Append(payload []byte) error {
 	case SyncNone:
 	}
 	return nil
+}
+
+// syncSpanLocked is syncLocked with the force-down recorded as a
+// wal_fsync span when the append is traced and a sync actually runs.
+//
+//codalint:hotpath journal framing
+func (w *WAL) syncSpanLocked(parent obs.SpanContext) error {
+	if !parent.Valid() || !w.dirty {
+		return w.syncLocked()
+	}
+	//codalint:ignore allocscan span minting runs only for traced appends; the untraced steady state returns above
+	sp := w.opts.Obs.StartSpan(w.opts.Node, "wal_fsync", parent)
+	err := w.syncLocked()
+	sp.End() //codalint:ignore allocscan traced-append branch only; see above
+	return err
 }
 
 // rotateLocked finishes the active segment (forcing it down — a rotated

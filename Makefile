@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint lint-ignores bench bench-json bench-allocs bench-gate bench-baseline vet fmt clean crash scenarios
+.PHONY: all build test race lint lint-ignores lint-graph bench bench-json bench-allocs bench-gate bench-baseline vet fmt clean crash scenarios
 
 all: build vet lint test
 
@@ -39,6 +39,11 @@ lint:
 # reason).
 lint-ignores:
 	$(GO) run ./cmd/codalint -ignores ./...
+
+# Whole-program lock-order graph as Graphviz DOT (weak/conditional
+# holds dashed). Pipe to `dot -Tsvg` to render.
+lint-graph:
+	$(GO) run ./cmd/codalint -lockgraph ./...
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...

@@ -71,6 +71,17 @@ type FuncNode struct {
 	// statements that target an enclosing select or switch, not the
 	// loop — the classic shutdown bug leakcheck exists to catch.
 	selectBreakOnly bool
+
+	// Acquires: lock domains this function may acquire, directly or
+	// through any chain of static calls, mapped to the via-chain that
+	// reaches the Lock ("" = locked in this very body). Domains follow
+	// lockguard's naming convention and are rendered as
+	// "pkg.Type.field" ("server.volume.mu") or "pkg.var" for
+	// package-level mutexes. The goroutine bodies launched by `go`
+	// statements are excluded: their acquires happen on another stack.
+	Acquires map[string]string
+	// locks holds the rest of the lockset summary (see locksets.go).
+	locks lockSummary
 }
 
 // SpawnSite is one goroutine launch: a go statement or an x.Go(fn) call
@@ -108,6 +119,7 @@ func NewEngine(pkgs []*Package) *Engine {
 	for _, n := range e.nodes {
 		e.scanDirect(n)
 		e.scanAllocs(n)
+		e.scanLocksets(n)
 	}
 	e.fixpoint()
 	return e
@@ -576,6 +588,9 @@ func (e *Engine) fixpoint() {
 					n.selectBreakOnly = c.selectBreakOnly
 					changed = true
 				}
+			}
+			if n.propagateLocksets() {
+				changed = true
 			}
 		}
 	}

@@ -106,6 +106,84 @@ func (s *Server) Probe() {
 	}
 }
 
+func TestLockorderCrossPackage(t *testing.T) {
+	// The cycle's two acquires each happen one package away from where
+	// the order is violated: svc holds a's lock while calling b's
+	// lockVolume-style helper and vice versa. The lockset summaries
+	// must carry both the Acquires set and the open-section balance
+	// across the package boundary for the cycle to close.
+	mod := loadFauxModule(t, map[string]string{
+		"internal/east/east.go": `package east
+
+import "sync"
+
+type Gate struct {
+	mu sync.Mutex
+	N  int
+}
+
+// With hands the caller an open critical section.
+func With(g *Gate) *Gate {
+	g.mu.Lock()
+	return g
+}
+
+func Release(g *Gate) { g.mu.Unlock() }
+`,
+		"internal/west/west.go": `package west
+
+import "sync"
+
+type Gate struct {
+	mu sync.Mutex
+	N  int
+}
+
+func With(g *Gate) *Gate {
+	g.mu.Lock()
+	return g
+}
+
+func Release(g *Gate) { g.mu.Unlock() }
+`,
+		"internal/svc/svc.go": `package svc
+
+import (
+	"faux/internal/east"
+	"faux/internal/west"
+)
+
+func Forward(e *east.Gate, w *west.Gate) {
+	east.With(e)
+	west.With(w)
+	w.N++
+	west.Release(w)
+	east.Release(e)
+}
+
+func Backward(e *east.Gate, w *west.Gate) {
+	west.With(w)
+	east.With(e)
+	e.N++
+	east.Release(e)
+	west.Release(w)
+}
+`,
+	})
+	got := Run(mod.Packages, []Analyzer{NewLockorder()})
+	if len(got) != 1 {
+		t.Fatalf("cross-package lockorder: %d findings, want 1 cycle:\n%v", len(got), got)
+	}
+	f := got[0]
+	if !strings.Contains(f.Pos.Filename, "svc.go") ||
+		!strings.Contains(f.Message, "lock-order cycle") ||
+		!strings.Contains(f.Message, "east.Gate.mu") ||
+		!strings.Contains(f.Message, "west.Gate.mu") ||
+		!strings.Contains(f.Message, "With") {
+		t.Fatalf("cross-package lockorder finding: %v", f)
+	}
+}
+
 func TestAllocscanCrossPackage(t *testing.T) {
 	// The allocation is two hops and one package boundary away from the
 	// hotpath root: hot Ship -> frame.Build -> frame.grow. The finding

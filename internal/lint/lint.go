@@ -40,6 +40,7 @@ func Analyzers() []Analyzer {
 		NewObsname(),
 		NewMaporder(),
 		NewLockhold(),
+		NewLockorder(),
 		NewLeakcheck(),
 		NewAllocscan(),
 	}

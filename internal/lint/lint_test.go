@@ -128,6 +128,10 @@ func TestLockholdFixture(t *testing.T) {
 	runFixture(t, "lockhold", "internal/fixture", []Analyzer{NewLockhold()})
 }
 
+func TestLockorderFixture(t *testing.T) {
+	runFixture(t, "lockorder", "internal/fixture", []Analyzer{NewLockorder()})
+}
+
 func TestLeakcheckFixture(t *testing.T) {
 	runFixture(t, "leakcheck", "internal/fixture", []Analyzer{NewLeakcheck()})
 }

@@ -91,3 +91,30 @@ func (s *store) spawnUnderLock() {
 	go s.wait()
 	s.mu.Unlock()
 }
+
+// RWMutex coverage: reader sections follow the same rules as writer
+// sections — an RLock region is a critical section, and RUnlock closes
+// it. Nothing pinned this before; these cases are the fence.
+type rwstore struct {
+	stateMu sync.RWMutex
+	items   map[string]int
+	wake    chan struct{}
+}
+
+// Bad: an RLock section held across a park serializes every writer
+// behind the wait exactly like a write lock would.
+func (r *rwstore) snapshotSlow(k string) int {
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
+	<-r.wake // want "held across channel receive"
+	return r.items[k]
+}
+
+// Clean: RUnlock closes the reader region before the park.
+func (r *rwstore) readThenWait(k string) int {
+	r.stateMu.RLock()
+	v := r.items[k]
+	r.stateMu.RUnlock()
+	<-r.wake
+	return v
+}

@@ -1,0 +1,225 @@
+// Package lockorderfix seeds every deadlock shape the lockorder
+// analyzer exists to catch, plus the clean twins that pin its
+// precision: the sorted multi-lock loop, the ordered-provider
+// iteration, the branch-release (may-hold) idiom, and a receive whose
+// signaller never touches the held lock.
+package lockorderfix
+
+import (
+	"sort"
+	"sync"
+)
+
+// --- lock-order cycle, one side through a helper hop ---------------
+
+type alpha struct {
+	mu sync.Mutex
+	n  int
+}
+
+type beta struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockBeta is a lockVolume-style helper: its Lock balance is positive,
+// so calling it opens a critical section at the call site.
+func lockBeta(b *beta) *beta {
+	b.mu.Lock()
+	return b
+}
+
+// Bad half: alpha before beta (the beta acquire is one call away).
+func alphaThenBeta(a *alpha, b *beta) {
+	a.mu.Lock()
+	lockBeta(b) // want "lock-order cycle"
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Bad half: beta before alpha — together with alphaThenBeta this
+// closes the cycle; the finding anchors at the earlier witness above.
+func betaThenAlpha(a *alpha, b *beta) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// --- same-domain nested acquire ------------------------------------
+
+type pair struct {
+	mu sync.Mutex
+	id int
+}
+
+// Bad: two locks of one domain with no order between them —
+// self-deadlock on the same instance, unordered on two.
+func lockBoth(x, y *pair) {
+	x.mu.Lock()
+	y.mu.Lock() // want "already holding"
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// --- the ascending-ID rule ------------------------------------------
+
+// Bad: accumulating same-domain locks across iterations of an
+// unordered slice; two of these loops can interleave in opposite
+// orders.
+func lockAllUnsorted(ps []*pair) {
+	for _, p := range ps {
+		p.mu.Lock() // want "unproven order"
+	}
+	for _, p := range ps {
+		p.mu.Unlock()
+	}
+}
+
+// Clean: the slice is sorted immediately before the loop.
+func lockAllSorted(ps []*pair) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	for _, p := range ps {
+		p.mu.Lock()
+	}
+	for _, p := range ps {
+		p.mu.Unlock()
+	}
+}
+
+type registry struct {
+	mu    sync.Mutex
+	pairs map[int]*pair
+}
+
+// pairsByID snapshots the registry and sorts the snapshot: an ordered
+// provider — ranging over its result satisfies the ascending-ID rule.
+func (r *registry) pairsByID() []*pair {
+	r.mu.Lock()
+	ps := make([]*pair, 0, len(r.pairs))
+	for _, p := range r.pairs {
+		ps = append(ps, p)
+	}
+	r.mu.Unlock()
+	sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	return ps
+}
+
+// Clean: the ordering proof flows through the provider call.
+func lockAllRegistry(r *registry) {
+	ps := r.pairsByID()
+	for _, p := range ps {
+		p.mu.Lock()
+	}
+	for _, p := range ps {
+		p.mu.Unlock()
+	}
+}
+
+// --- cross-primitive: lock held across a wait the signaller needs ---
+
+type mailbox struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Bad: parked on a receive while holding the lock post() must take
+// before it can ever send.
+func (m *mailbox) recvUnderLock() {
+	m.mu.Lock()
+	m.n = <-m.ch // want "held across channel receive"
+	m.mu.Unlock()
+}
+
+func (m *mailbox) post(v int) {
+	m.mu.Lock()
+	m.n = v
+	m.mu.Unlock()
+	m.ch <- v
+}
+
+type letterbox struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Clean: the only signaller never touches letterbox.mu, so the parked
+// holder cannot starve it.
+func (l *letterbox) recvUnderLock() {
+	l.mu.Lock()
+	l.n = <-l.ch
+	l.mu.Unlock()
+}
+
+func (l *letterbox) feed(v int) {
+	l.ch <- v
+}
+
+// --- RWMutex: readers order and deadlock like writers ---------------
+
+type rwcache struct {
+	rwMu sync.RWMutex
+	ch   chan int
+	n    int
+}
+
+// Bad: an RLock section parks on a receive while the sender needs the
+// write lock first — readers still deadlock against writers.
+func (c *rwcache) readUnderRLock() {
+	c.rwMu.RLock()
+	c.n = <-c.ch // want "held across channel receive"
+	c.rwMu.RUnlock()
+}
+
+func (c *rwcache) store(v int) {
+	c.rwMu.Lock()
+	c.n = v
+	c.rwMu.Unlock()
+	c.ch <- v
+}
+
+// --- may-hold precision: branch-conditional lock (simtime.Queue) ----
+
+type either struct {
+	aMu sync.Mutex
+	bMu sync.Mutex
+	sim bool
+	ch  chan int
+}
+
+// lock acquires one of two domains depending on mode — after it, both
+// are only may-held.
+func (e *either) lock() {
+	if e.sim {
+		e.aMu.Lock()
+	} else {
+		e.bMu.Lock()
+	}
+}
+
+// Clean: every path unlocks before parking; the branch releases leave
+// only weak holds at the receive, so no cross-primitive finding even
+// though wake() signals under the same locks.
+func (e *either) park() int {
+	e.lock()
+	if e.sim {
+		e.aMu.Unlock()
+	} else {
+		e.bMu.Unlock()
+	}
+	return <-e.ch
+}
+
+func (e *either) wake() {
+	e.lock()
+	close(e.ch)
+	if e.sim {
+		e.aMu.Unlock()
+	} else {
+		e.bMu.Unlock()
+	}
+}
